@@ -1,0 +1,107 @@
+// Experiment T7 (paper Theorem 7): the bi-criteria decision problem on
+// Fully Heterogeneous platforms is NP-hard (reduction from 2-PARTITION).
+//
+// Reproduction: yes/no instances map to feasible/infeasible scheduling
+// decisions through the reduction, the squeeze argument is visible in the
+// numbers (latency forces sum <= S/2, reliability forces sum >= S/2), and
+// the exhaustive solver's cost on reduced instances grows exponentially
+// while the pseudo-polynomial source solver stays cheap.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/types.hpp"
+#include "relap/reductions/partition.hpp"
+#include "relap/util/rng.hpp"
+
+namespace {
+
+using namespace relap;
+
+bool decide_via_scheduling(const reductions::PartitionReduction& reduced) {
+  const auto outcome = algorithms::exhaustive_pareto(reduced.pipeline, reduced.platform);
+  if (!outcome) return false;
+  for (const auto& p : outcome->front) {
+    if (algorithms::within_cap(p.latency, reduced.latency_threshold) &&
+        algorithms::within_cap(p.failure_probability, reduced.fp_threshold)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_tables() {
+  benchutil::header("T7: 2-PARTITION instances through the reduction");
+  struct Case {
+    const char* name;
+    std::vector<std::uint64_t> values;
+  };
+  const std::vector<Case> cases = {
+      {"{1,1}", {1, 1}},
+      {"{1,2} (odd sum)", {1, 2}},
+      {"{3,1,1,2,2,1}", {3, 1, 1, 2, 2, 1}},
+      {"{1,1,1,1,6}", {1, 1, 1, 1, 6}},
+      {"{4,5,6,7}", {4, 5, 6, 7}},
+      {"{10,1,1,1}", {10, 1, 1, 1}},
+      {"{8,7,6,5,4,3,2,1}", {8, 7, 6, 5, 4, 3, 2, 1}},
+  };
+  std::printf("%-22s %-6s %-12s %-12s %-12s %-12s %-8s\n", "instance", "S", "L=S/2+2",
+              "FP=e^-S/2", "partition?", "schedule?", "match");
+  for (const Case& c : cases) {
+    const reductions::PartitionInstance instance{c.values};
+    const auto reduced = reductions::partition_to_bicriteria(instance);
+    const bool partition = reductions::has_equal_partition(instance);
+    const bool schedule = decide_via_scheduling(reduced);
+    std::printf("%-22s %-6llu %-12.1f %-12.6f %-12s %-12s %-8s\n", c.name,
+                static_cast<unsigned long long>(instance.sum()), reduced.latency_threshold,
+                reduced.fp_threshold, partition ? "yes" : "no", schedule ? "yes" : "no",
+                partition == schedule ? "ok" : "MISMATCH");
+  }
+
+  benchutil::header("the squeeze: subset sums vs the two thresholds ({3,1,1,2,2,1}, S/2 = 5)");
+  const reductions::PartitionInstance instance{{3, 1, 1, 2, 2, 1}};
+  const auto reduced = reductions::partition_to_bicriteria(instance);
+  std::printf("%-14s %-12s %-14s %-14s %-14s\n", "subset sum", "latency", "lat feasible",
+              "FP", "FP feasible");
+  for (const double sum : {3.0, 4.0, 5.0, 6.0, 7.0}) {
+    const double latency = sum + 2.0;
+    const double fp = std::exp(-sum);
+    std::printf("%-14.1f %-12.1f %-14s %-14.6f %-14s\n", sum, latency,
+                latency <= reduced.latency_threshold + 1e-9 ? "yes" : "no", fp,
+                fp <= reduced.fp_threshold + 1e-12 ? "yes" : "no");
+  }
+  benchutil::note("(only sum == S/2 satisfies both — the reduction's squeeze)");
+}
+
+void bm_pseudo_polynomial_source(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  reductions::PartitionInstance instance;
+  for (std::size_t i = 0; i < m; ++i) {
+    instance.values.push_back(1 + rng.uniform_int(50));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reductions::has_equal_partition(instance));
+  }
+}
+BENCHMARK(bm_pseudo_polynomial_source)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_exhaustive_on_reduced(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  reductions::PartitionInstance instance;
+  for (std::size_t i = 0; i < m; ++i) {
+    instance.values.push_back(1 + rng.uniform_int(9));
+  }
+  const auto reduced = reductions::partition_to_bicriteria(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decide_via_scheduling(reduced));
+  }
+}
+BENCHMARK(bm_exhaustive_on_reduced)->DenseRange(4, 14, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -1,0 +1,91 @@
+// Experiment FIG3/FIG4 (paper Section 3, Figures 3-4): on a Fully
+// Heterogeneous platform, splitting a 2-stage pipeline across two processors
+// yields latency 7 while any single-processor mapping yields 105.
+//
+// Reproduction: the two headline numbers, then a sweep of the
+// inter-processor bandwidth showing where the split stops paying off
+// (crossover), then evaluator timings.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/general_mapping_sp.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/platform/builders.hpp"
+
+namespace {
+
+using namespace relap;
+
+platform::Platform fig4_with_link(double inter_bandwidth) {
+  platform::PlatformBuilder builder;
+  const platform::ProcessorId p1 = builder.add_processor(1.0, 0.1);
+  const platform::ProcessorId p2 = builder.add_processor(1.0, 0.1);
+  builder.default_bandwidth(1.0)
+      .link(p1, p2, inter_bandwidth)
+      .link_in(p1, 100.0)
+      .link_in(p2, 1.0)
+      .link_out(p1, 1.0)
+      .link_out(p2, 100.0);
+  return builder.build();
+}
+
+void print_tables() {
+  benchutil::header("FIG3/FIG4: split vs single interval (paper Section 3)");
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  const double single0 =
+      mapping::latency(pipe, plat, mapping::IntervalMapping::single_interval(2, {0}));
+  const double single1 =
+      mapping::latency(pipe, plat, mapping::IntervalMapping::single_interval(2, {1}));
+  const double split = mapping::latency(pipe, plat, gen::fig4_split_mapping());
+  std::printf("%-28s %-10s %-10s\n", "mapping", "latency", "paper");
+  std::printf("%-28s %-10.2f %-10s\n", "[0..1]->{P1} (single)", single0, "105");
+  std::printf("%-28s %-10.2f %-10s\n", "[0..1]->{P2} (single)", single1, "105");
+  std::printf("%-28s %-10.2f %-10s\n", "[0..0]->{P1} [1..1]->{P2}", split, "7");
+
+  benchutil::header("crossover sweep: inter-processor bandwidth b(P1,P2)");
+  benchutil::note("the split pays 2 * 100/b extra transfers; it beats the single");
+  benchutil::note("mapping while 100/b stays cheap relative to the saved 100/1 output");
+  std::printf("%-12s %-12s %-12s %-8s\n", "b(P1,P2)", "split", "single", "winner");
+  for (const double b : {100.0, 50.0, 20.0, 10.0, 5.0, 2.0, 1.5, 1.2, 1.0, 0.8, 0.5}) {
+    const auto swept = fig4_with_link(b);
+    const double split_lat = mapping::latency(pipe, swept, gen::fig4_split_mapping());
+    const double single_lat =
+        mapping::latency(pipe, swept, mapping::IntervalMapping::single_interval(2, {0}));
+    std::printf("%-12.2f %-12.2f %-12.2f %-8s\n", b, split_lat, single_lat,
+                split_lat < single_lat ? "split" : "single");
+  }
+
+  benchutil::header("optimal general mapping (Theorem 4 solver) on the swept platforms");
+  std::printf("%-12s %-12s %-24s\n", "b(P1,P2)", "optimal", "assignment");
+  for (const double b : {100.0, 10.0, 1.0, 0.5}) {
+    const auto swept = fig4_with_link(b);
+    const auto best = algorithms::general_mapping_min_latency(pipe, swept);
+    std::printf("%-12.2f %-12.2f %-24s\n", b, best.latency, best.mapping.describe().c_str());
+  }
+}
+
+void bm_eval_eq2_split(benchmark::State& state) {
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  const auto m = gen::fig4_split_mapping();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::latency_eq2(pipe, plat, m));
+  }
+}
+BENCHMARK(bm_eval_eq2_split);
+
+void bm_general_sp_fig4(benchmark::State& state) {
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::general_mapping_min_latency(pipe, plat));
+  }
+}
+BENCHMARK(bm_general_sp_fig4);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -1,0 +1,130 @@
+// Experiment FIG1/FIG2 (paper Section 2, Figures 1-2): the application and
+// platform models plus the two latency evaluators and the FP formula.
+//
+// Reproduction: canonical-instance sanity table (both paper examples) and
+// the Eq.(1)/Eq.(2) agreement check on identical-link platforms; timings
+// measure evaluator throughput as instance sizes grow.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+#include "relap/mapping/throughput.hpp"
+
+namespace {
+
+using namespace relap;
+
+mapping::IntervalMapping half_split(std::size_t stages, std::size_t processors) {
+  // Two intervals, processors split evenly between them.
+  std::vector<platform::ProcessorId> first;
+  std::vector<platform::ProcessorId> second;
+  for (platform::ProcessorId u = 0; u < processors; ++u) {
+    (u < processors / 2 ? first : second).push_back(u);
+  }
+  return mapping::IntervalMapping(
+      {{{0, stages / 2}, first}, {{stages / 2 + 1, stages - 1}, second}});
+}
+
+void print_tables() {
+  benchutil::header("FIG1/FIG2: model sanity on the paper's canonical instances");
+  std::printf("%-34s %-12s %-12s %-12s\n", "instance/mapping", "latency", "FP", "period");
+  {
+    const auto pipe = gen::fig3_pipeline();
+    const auto plat = gen::fig4_platform();
+    const auto single = gen::fig4_single_mapping();
+    const auto split = gen::fig4_split_mapping();
+    std::printf("%-34s %-12.2f %-12.4f %-12.2f\n", "fig3/4 single {P1}",
+                mapping::latency(pipe, plat, single),
+                mapping::failure_probability(plat, single), mapping::period(pipe, plat, single));
+    std::printf("%-34s %-12.2f %-12.4f %-12.2f\n", "fig3/4 split",
+                mapping::latency(pipe, plat, split), mapping::failure_probability(plat, split),
+                mapping::period(pipe, plat, split));
+  }
+  {
+    const auto pipe = gen::fig5_pipeline();
+    const auto plat = gen::fig5_platform();
+    const auto single = gen::fig5_single_interval_mapping();
+    const auto both = gen::fig5_two_interval_mapping();
+    std::printf("%-34s %-12.2f %-12.4f %-12.2f\n", "fig5 single {2 fast}",
+                mapping::latency(pipe, plat, single),
+                mapping::failure_probability(plat, single), mapping::period(pipe, plat, single));
+    std::printf("%-34s %-12.2f %-12.4f %-12.2f\n", "fig5 two-interval",
+                mapping::latency(pipe, plat, both), mapping::failure_probability(plat, both),
+                mapping::period(pipe, plat, both));
+  }
+
+  benchutil::header("Eq.(1) == Eq.(2) on identical-link platforms (16 random instances)");
+  double max_rel_err = 0.0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(6, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 8;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 131);
+    const auto m = half_split(6, 8);
+    const double eq1 = mapping::latency_eq1(pipe, plat, m);
+    const double eq2 = mapping::latency_eq2(pipe, plat, m);
+    max_rel_err = std::max(max_rel_err, std::abs(eq1 - eq2) / eq1);
+  }
+  std::printf("max relative difference: %.3e (expected ~1e-16: same formula, two "
+              "attributions)\n",
+              max_rel_err);
+}
+
+void bm_latency_eq1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(n, 7);
+  gen::PlatformGenOptions options;
+  options.processors = n;
+  const auto plat = gen::random_comm_hom_het_failures(options, 8);
+  const auto m = half_split(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::latency_eq1(pipe, plat, m));
+  }
+}
+BENCHMARK(bm_latency_eq1)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_latency_eq2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(n, 7);
+  gen::PlatformGenOptions options;
+  options.processors = n;
+  const auto plat = gen::random_fully_heterogeneous(options, 8);
+  const auto m = half_split(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::latency_eq2(pipe, plat, m));
+  }
+}
+BENCHMARK(bm_latency_eq2)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_failure_probability(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gen::PlatformGenOptions options;
+  options.processors = n;
+  const auto plat = gen::random_comm_hom_het_failures(options, 9);
+  const auto m = half_split(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::failure_probability(plat, m));
+  }
+}
+BENCHMARK(bm_failure_probability)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_platform_construction(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  gen::PlatformGenOptions options;
+  options.processors = m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::random_fully_heterogeneous(options, 11));
+  }
+}
+BENCHMARK(bm_platform_construction)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -1,0 +1,97 @@
+// Experiment T1/T2 (paper Theorems 1-2): the mono-criterion polynomial
+// cases.
+//
+// Reproduction: Theorem 1's optimum (full replication, one interval) and
+// Theorem 2's optimum (fastest processor, one interval) against exhaustive
+// enumeration, plus the latency penalty replication costs (why replication
+// is never used in the mono-criterion latency problem) and runtime scaling.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/mono_criterion.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/util/stats.hpp"
+
+namespace {
+
+using namespace relap;
+
+void print_tables() {
+  benchutil::header("T1: minimum FP = replicate everything on everyone (audit)");
+  std::printf("%-6s %-16s %-16s %-8s\n", "seed", "claimed FP", "exhaustive FP", "match");
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 61);
+    const auto claimed = algorithms::minimize_failure_probability(pipe, plat);
+    const auto oracle = algorithms::exhaustive_pareto(pipe, plat);
+    double best = 1.0;
+    if (oracle) {
+      for (const auto& p : oracle->front) best = std::min(best, p.failure_probability);
+    }
+    std::printf("%-6llu %-16.10f %-16.10f %-8s\n",
+                static_cast<unsigned long long>(seed), claimed.failure_probability, best,
+                util::approx_equal(claimed.failure_probability, best) ? "yes" : "NO");
+  }
+
+  benchutil::header("T2: minimum latency = fastest processor, single interval (audit)");
+  std::printf("%-6s %-16s %-16s %-8s\n", "seed", "claimed", "exhaustive", "match");
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 67);
+    const auto claimed = algorithms::minimize_latency_comm_hom(pipe, plat);
+    const auto oracle = algorithms::exhaustive_pareto(pipe, plat);
+    const double best = oracle ? oracle->front.front().latency : -1.0;
+    std::printf("%-6llu %-16.6f %-16.6f %-8s\n", static_cast<unsigned long long>(seed),
+                claimed.latency, best,
+                util::approx_equal(claimed.latency, best) ? "yes" : "NO");
+  }
+
+  benchutil::header("replication only hurts latency (Theorem 2's premise)");
+  const auto pipe = pipeline::Pipeline({12.0}, {4.0, 2.0});
+  const auto plat = platform::make_comm_homogeneous({6.0, 5.0, 4.0, 3.0}, 2.0, 0.2);
+  std::printf("%-4s %-12s\n", "k", "latency(k)");
+  for (std::size_t k = 1; k <= 4; ++k) {
+    std::vector<platform::ProcessorId> group(k);
+    for (std::size_t u = 0; u < k; ++u) group[u] = u;
+    std::printf("%-4zu %-12.3f\n", k,
+                mapping::latency(pipe, plat,
+                                 mapping::IntervalMapping::single_interval(1, group)));
+  }
+}
+
+void bm_theorem1(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(8, 3);
+  gen::PlatformGenOptions options;
+  options.processors = m;
+  const auto plat = gen::random_comm_hom_het_failures(options, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::minimize_failure_probability(pipe, plat));
+  }
+}
+BENCHMARK(bm_theorem1)->Arg(8)->Arg(64)->Arg(512);
+
+void bm_theorem2(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(8, 3);
+  gen::PlatformGenOptions options;
+  options.processors = m;
+  const auto plat = gen::random_comm_hom_het_failures(options, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::minimize_latency_comm_hom(pipe, plat));
+  }
+}
+BENCHMARK(bm_theorem2)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -1,0 +1,82 @@
+// Experiment: latency/FP Pareto fronts on Fully Heterogeneous platforms
+// (the class Theorem 7 proves NP-hard) — exhaustive ground truth vs the
+// heuristic suite's front, with front-quality ratios, plus timings showing
+// the exhaustive wall.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/pareto_driver.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/util/stats.hpp"
+
+namespace {
+
+using namespace relap;
+
+void print_tables() {
+  benchutil::header("Pareto fronts on Fully Heterogeneous instances: heuristic vs exact");
+  std::printf("%-6s %-12s %-12s %-14s\n", "seed", "exact pts", "suite pts", "FP ratio");
+  util::StreamingStats ratios;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    const auto plat = gen::random_fully_heterogeneous(options, seed * 89);
+    const auto exact = algorithms::exhaustive_pareto(pipe, plat);
+    if (!exact) continue;
+    const auto suite = algorithms::heuristic_pareto_front(pipe, plat);
+    const double ratio = algorithms::front_fp_ratio(suite, exact->front);
+    ratios.add(ratio);
+    std::printf("%-6llu %-12zu %-12zu %-14.4f\n", static_cast<unsigned long long>(seed),
+                exact->front.size(), suite.size(), ratio);
+  }
+  std::printf("mean FP ratio over the exact front: %.4f (1.0 = matches everywhere)\n",
+              ratios.mean());
+
+  benchutil::header("one full front, printed (seed 1)");
+  const auto pipe = gen::random_uniform_pipeline(3, 1);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_fully_heterogeneous(options, 89);
+  const auto exact = algorithms::exhaustive_pareto(pipe, plat);
+  if (exact) {
+    std::printf("%-12s %-14s %-10s %-36s\n", "latency", "FP", "intervals", "mapping");
+    for (const auto& p : exact->front) {
+      std::printf("%-12.4f %-14.8f %-10zu %-36s\n", p.latency, p.failure_probability,
+                  p.mapping.interval_count(), p.mapping.describe().c_str());
+    }
+  }
+}
+
+void bm_exhaustive_front(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(3, 1);
+  gen::PlatformGenOptions options;
+  options.processors = m;
+  const auto plat = gen::random_fully_heterogeneous(options, 89);
+  algorithms::ExhaustiveOptions ex;
+  ex.max_evaluations = 50'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::exhaustive_pareto(pipe, plat, ex));
+  }
+}
+BENCHMARK(bm_exhaustive_front)->DenseRange(3, 7, 1)->Unit(benchmark::kMillisecond);
+
+void bm_heuristic_front(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(3, 1);
+  gen::PlatformGenOptions options;
+  options.processors = m;
+  const auto plat = gen::random_fully_heterogeneous(options, 89);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::heuristic_pareto_front(pipe, plat));
+  }
+}
+BENCHMARK(bm_heuristic_front)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

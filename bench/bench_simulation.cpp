@@ -1,0 +1,151 @@
+// Experiment: simulator validation (the testbed substitute, DESIGN.md §4).
+//
+// Reproduction: (a) Monte-Carlo failure frequency vs the analytic FP formula
+// on both paper instances and random mappings; (b) the adversarial
+// worst-case schedule reproduces Eq.(1)/(2) exactly; (c) failure-free
+// latency never exceeds the worst case; timings measure engine throughput.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/sim/engine.hpp"
+#include "relap/sim/monte_carlo.hpp"
+#include "relap/util/stats.hpp"
+
+namespace {
+
+using namespace relap;
+
+void print_tables() {
+  benchutil::header("Monte Carlo vs analytic FP (200k trials per row)");
+  std::printf("%-28s %-12s %-12s %-12s %-10s\n", "mapping", "analytic", "empirical",
+              "95% CI +/-", "verdict");
+  {
+    const auto plat = gen::fig5_platform();
+    sim::MonteCarloOptions mc;
+    mc.trials = 200'000;
+    for (const auto& [name, m] :
+         {std::pair{"fig5 single {2 fast}", gen::fig5_single_interval_mapping()},
+          std::pair{"fig5 two-interval", gen::fig5_two_interval_mapping()}}) {
+      const auto est = sim::estimate_failure_rate(plat, m, mc);
+      std::printf("%-28s %-12.6f %-12.6f %-12.6f %-10s\n", name, est.analytic, est.empirical,
+                  est.ci95_half_width, est.consistent(0.003) ? "consistent" : "OFF");
+    }
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    gen::PlatformGenOptions options;
+    options.processors = 6;
+    options.fp_min = 0.1;
+    options.fp_max = 0.6;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 101);
+    const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 3}, {1, 4, 5}}});
+    sim::MonteCarloOptions mc;
+    mc.trials = 200'000;
+    mc.seed = seed;
+    const auto est = sim::estimate_failure_rate(plat, m, mc);
+    char name[32];
+    std::snprintf(name, sizeof(name), "random mapping (seed %llu)",
+                  static_cast<unsigned long long>(seed));
+    std::printf("%-28s %-12.6f %-12.6f %-12.6f %-10s\n", name, est.analytic, est.empirical,
+                est.ci95_half_width, est.consistent(0.003) ? "consistent" : "OFF");
+  }
+
+  benchutil::header("adversarial worst-case schedule reproduces the latency formulas");
+  std::printf("%-10s %-18s %-14s %-14s %-10s\n", "platform", "formula", "formula value",
+              "simulated", "match");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(4, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 6;
+    const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 3}, {1, 2, 4}}});
+    sim::SimOptions sim_options;
+    sim_options.send_order = sim::SendOrder::WorstCaseLast;
+    {
+      const auto plat = gen::random_comm_hom_het_failures(options, seed * 211);
+      const auto scenario = sim::FailureScenario::worst_case(pipe, plat, m);
+      const auto run = sim::simulate(pipe, plat, m, scenario, sim_options);
+      const double eq1 = mapping::latency_eq1(pipe, plat, m);
+      std::printf("%-10s %-18s %-14.6f %-14.6f %-10s\n", "comm-hom", "Eq.(1)", eq1,
+                  run.datasets[0].latency(),
+                  util::approx_equal(eq1, run.datasets[0].latency()) ? "yes" : "NO");
+    }
+    {
+      const auto plat = gen::random_fully_heterogeneous(options, seed * 223);
+      const auto scenario = sim::FailureScenario::worst_case(pipe, plat, m);
+      const auto run = sim::simulate(pipe, plat, m, scenario, sim_options);
+      const double eq2 = mapping::latency_eq2(pipe, plat, m);
+      std::printf("%-10s %-18s %-14.6f %-14.6f %-10s\n", "fully-het", "Eq.(2)", eq2,
+                  run.datasets[0].latency(),
+                  util::approx_equal(eq2, run.datasets[0].latency()) ? "yes" : "NO");
+    }
+  }
+
+  benchutil::header("failure-free vs worst-case latency (slack the adversary can use)");
+  std::printf("%-6s %-14s %-14s %-10s\n", "seed", "failure-free", "worst-case", "ratio");
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(4, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 6;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 307);
+    const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 3}, {1, 2, 4}}});
+    const auto free_run =
+        sim::simulate(pipe, plat, m, sim::FailureScenario::none(6), {});
+    const double worst = mapping::latency(pipe, plat, m);
+    std::printf("%-6llu %-14.6f %-14.6f %-10.4f\n", static_cast<unsigned long long>(seed),
+                free_run.datasets[0].latency(), worst,
+                worst / free_run.datasets[0].latency());
+  }
+}
+
+void bm_engine_single_dataset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(n, 3);
+  gen::PlatformGenOptions options;
+  options.processors = n;
+  const auto plat = gen::random_comm_hom_het_failures(options, 5);
+  std::vector<platform::ProcessorId> first;
+  std::vector<platform::ProcessorId> second;
+  for (platform::ProcessorId u = 0; u < n; ++u) (u < n / 2 ? first : second).push_back(u);
+  const mapping::IntervalMapping m({{{0, n / 2}, first}, {{n / 2 + 1, n - 1}, second}});
+  const auto scenario = sim::FailureScenario::none(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(pipe, plat, m, scenario, {}));
+  }
+}
+BENCHMARK(bm_engine_single_dataset)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_engine_pipelined_datasets(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(8, 3);
+  gen::PlatformGenOptions options;
+  options.processors = 8;
+  const auto plat = gen::random_comm_hom_het_failures(options, 5);
+  const mapping::IntervalMapping m({{{0, 4}, {0, 1, 2, 3}}, {{5, 7}, {4, 5, 6, 7}}});
+  const auto scenario = sim::FailureScenario::none(8);
+  sim::SimOptions sim_options;
+  sim_options.dataset_count = d;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(pipe, plat, m, scenario, sim_options));
+  }
+}
+BENCHMARK(bm_engine_pipelined_datasets)->Arg(1)->Arg(16)->Arg(256);
+
+void bm_monte_carlo_direct(benchmark::State& state) {
+  const auto plat = gen::fig5_platform();
+  const auto m = gen::fig5_two_interval_mapping();
+  sim::MonteCarloOptions mc;
+  mc.trials = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_failure_rate(plat, m, mc));
+  }
+}
+BENCHMARK(bm_monte_carlo_direct)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

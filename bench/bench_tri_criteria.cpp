@@ -1,0 +1,102 @@
+// Experiment §5 (the paper's future work): the latency / reliability /
+// throughput interplay. The paper closes by naming this tri-criteria
+// problem; this bench explores it with the library's period model
+// (mapping/throughput.hpp): for each latency budget, the FP-optimal mapping
+// is compared against the FP-optimal mapping *under an additional period
+// constraint*, exposing the price of steady-state throughput.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/types.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/throughput.hpp"
+
+namespace {
+
+using namespace relap;
+
+/// Exact tri-criteria probe: min FP s.t. latency <= L and period <= P
+/// (exhaustive_min_fp_for_latency_and_period applies the period filter
+/// inside the enumeration — a latency/FP front alone cannot answer this).
+std::optional<algorithms::Solution> min_fp_latency_period(const pipeline::Pipeline& pipe,
+                                                          const platform::Platform& plat,
+                                                          double max_latency,
+                                                          double max_period) {
+  auto r = algorithms::exhaustive_min_fp_for_latency_and_period(pipe, plat, max_latency,
+                                                                max_period);
+  if (!r) return std::nullopt;
+  return std::move(r).take();
+}
+
+void print_tables() {
+  const auto pipe = gen::bimodal_pipeline(3, 7);
+  const auto plat = gen::random_comm_hom_het_failures({.processors = 5}, 11);
+  const double floor = mapping::latency_lower_bound(pipe, plat);
+
+  benchutil::header("tri-criteria surface: optimal FP vs (latency budget, period budget)");
+  benchutil::note("(paper §5 future work; period model documented in throughput.hpp)");
+  std::printf("%-14s", "L \\ P");
+  const std::vector<double> period_budgets = {floor * 0.8, floor * 1.2, floor * 2.0,
+                                              floor * 4.0, 1e18};
+  for (const double P : period_budgets) {
+    if (P > 1e17) {
+      std::printf(" %-12s", "unbounded");
+    } else {
+      std::printf(" %-12.2f", P);
+    }
+  }
+  std::printf("\n");
+  for (const double factor : {1.2, 1.6, 2.2, 3.0, 4.5, 7.0}) {
+    const double L = floor * factor;
+    std::printf("%-14.2f", L);
+    for (const double P : period_budgets) {
+      const auto best = min_fp_latency_period(pipe, plat, L, P);
+      if (best) {
+        std::printf(" %-12.6f", best->failure_probability);
+      } else {
+        std::printf(" %-12s", "infeas");
+      }
+    }
+    std::printf("\n");
+  }
+  benchutil::note("\nshape check: each row is non-increasing left to right (looser period");
+  benchutil::note("budgets admit more replication) and each column non-increasing top to");
+  benchutil::note("bottom (looser latency budgets do too). Tight period budgets forbid");
+  benchutil::note("exactly the high-replication mappings reliability wants — the tension");
+  benchutil::note("the paper's closing section predicts.");
+}
+
+void bm_period_eval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pipe = gen::random_uniform_pipeline(n, 7);
+  gen::PlatformGenOptions options;
+  options.processors = n;
+  const auto plat = gen::random_comm_hom_het_failures(options, 11);
+  std::vector<platform::ProcessorId> first;
+  std::vector<platform::ProcessorId> second;
+  for (platform::ProcessorId u = 0; u < n; ++u) (u < n / 2 ? first : second).push_back(u);
+  const mapping::IntervalMapping m({{{0, n / 2}, first}, {{n / 2 + 1, n - 1}, second}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::period(pipe, plat, m));
+  }
+}
+BENCHMARK(bm_period_eval)->Arg(8)->Arg(32)->Arg(128);
+
+void bm_tri_criteria_probe(benchmark::State& state) {
+  const auto pipe = gen::bimodal_pipeline(3, 7);
+  const auto plat = gen::random_comm_hom_het_failures({.processors = 5}, 11);
+  const double floor = mapping::latency_lower_bound(pipe, plat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_fp_latency_period(pipe, plat, floor * 3.0, floor * 2.0));
+  }
+}
+BENCHMARK(bm_tri_criteria_probe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

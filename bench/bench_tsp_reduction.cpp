@@ -1,0 +1,101 @@
+// Experiment T3 (paper Theorem 3): minimizing latency over one-to-one
+// mappings on Fully Heterogeneous platforms is NP-hard (reduction from TSP).
+//
+// Reproduction: the reduction round-trip (Hamiltonian-path cost == mapping
+// latency - (n+2)) on random instances, the yes/no decision behaviour at the
+// threshold, and the exponential runtime growth of the exact solvers that
+// the hardness predicts.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/one_to_one_exact.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/reductions/tsp.hpp"
+#include "relap/util/rng.hpp"
+#include "relap/util/stats.hpp"
+
+namespace {
+
+using namespace relap;
+
+reductions::TspInstance random_tsp(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  reductions::TspInstance instance;
+  instance.cost.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) instance.cost[i][j] = std::floor(rng.uniform(1.0, 30.0));
+    }
+  }
+  instance.source = 0;
+  instance.tail = n - 1;
+  instance.bound = 1e6;
+  return instance;
+}
+
+void print_tables() {
+  benchutil::header("T3: reduction round-trip (mapping latency == path cost + n + 2)");
+  std::printf("%-6s %-6s %-16s %-16s %-16s %-8s\n", "seed", "n", "held-karp cost",
+              "mapping latency", "cost + n + 2", "match");
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto tsp = random_tsp(6, seed);
+    const auto reduced = reductions::tsp_to_one_to_one(tsp);
+    const auto path = reductions::held_karp_path(tsp);
+    const auto mapped =
+        algorithms::one_to_one_min_latency(reduced.pipeline, reduced.platform);
+    if (!path || !mapped) continue;
+    const double cost = reductions::path_cost(tsp, *path);
+    const double expected = reductions::expected_latency_for_path_cost(tsp, cost);
+    std::printf("%-6llu %-6zu %-16.1f %-16.6f %-16.1f %-8s\n",
+                static_cast<unsigned long long>(seed), tsp.vertex_count(), cost,
+                mapped->latency, expected,
+                util::approx_equal(mapped->latency, expected) ? "yes" : "NO");
+  }
+
+  benchutil::header("decision behaviour at the threshold K' = K + n + 2");
+  {
+    auto tsp = random_tsp(6, 99);
+    const auto path = reductions::held_karp_path(tsp);
+    const double optimal = reductions::path_cost(tsp, *path);
+    std::printf("%-10s %-12s %-12s %-10s\n", "bound K", "threshold", "opt latency",
+                "decision");
+    for (const double delta : {-2.0, -1.0, 0.0, 1.0, 5.0}) {
+      tsp.bound = optimal + delta;
+      const auto reduced = reductions::tsp_to_one_to_one(tsp);
+      const auto mapped =
+          algorithms::one_to_one_min_latency(reduced.pipeline, reduced.platform);
+      const bool yes = mapped->latency <= reduced.latency_threshold + 1e-9;
+      std::printf("%-10.1f %-12.1f %-12.4f %-10s\n", tsp.bound, reduced.latency_threshold,
+                  mapped->latency, yes ? "yes" : "no");
+    }
+    benchutil::note("(decision flips exactly when K crosses the optimal path cost)");
+  }
+}
+
+void bm_held_karp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tsp = random_tsp(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reductions::held_karp_path(tsp));
+  }
+}
+BENCHMARK(bm_held_karp)->DenseRange(6, 16, 2)->Unit(benchmark::kMicrosecond);
+
+void bm_one_to_one_on_reduced_instance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tsp = random_tsp(n, 7);
+  const auto reduced = reductions::tsp_to_one_to_one(tsp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algorithms::one_to_one_min_latency(reduced.pipeline, reduced.platform));
+  }
+}
+BENCHMARK(bm_one_to_one_on_reduced_instance)
+    ->DenseRange(6, 16, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the bench binaries: every bench prints its
+/// paper-shaped table(s) first (the reproduction artifact EXPERIMENTS.md
+/// records), then runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Declares main(): print the reproduction tables, then run the registered
+/// google-benchmark timings.
+#define RELAP_BENCH_MAIN(print_fn)                                        \
+  int main(int argc, char** argv) {                                      \
+    print_fn();                                                           \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }
+
+namespace relap::benchutil {
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace relap::benchutil

@@ -1,0 +1,97 @@
+// Tiny CLI around the instance file format: read an instance, solve one of
+// the bi-criteria problems, print (and optionally verify) the mapping.
+//
+//   $ ./instance_tool write-demo demo.txt        # emit a sample instance
+//   $ ./instance_tool min-fp demo.txt 22         # min FP s.t. latency <= 22
+//   $ ./instance_tool min-latency demo.txt 0.25  # min latency s.t. FP <= 0.25
+//   $ ./instance_tool eval demo.txt "[0..0]->{0} [1..1]->{1,2}"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "relap/algorithms/solve.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/io/instance_format.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+#include "relap/mapping/validate.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: instance_tool write-demo <file>\n"
+               "       instance_tool min-fp <file> <latency-threshold>\n"
+               "       instance_tool min-latency <file> <fp-threshold>\n"
+               "       instance_tool eval <file> <mapping>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace relap;
+  if (argc < 3) return usage();
+  const char* command = argv[1];
+  const std::string path = argv[2];
+
+  if (std::strcmp(command, "write-demo") == 0) {
+    const io::Instance demo{gen::fig5_pipeline(), gen::fig5_platform()};
+    const auto saved = io::save_instance(demo, path);
+    if (!saved) {
+      std::fprintf(stderr, "error: %s\n", saved.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote the paper's Figure 5 instance to %s\n", path.c_str());
+    return 0;
+  }
+
+  const auto instance = io::load_instance(path);
+  if (!instance) {
+    std::fprintf(stderr, "error: %s\n", instance.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("loaded %s\n  %s\n  %s\n", path.c_str(),
+              instance->pipeline.describe().c_str(), instance->platform.describe().c_str());
+
+  if (std::strcmp(command, "eval") == 0) {
+    if (argc < 4) return usage();
+    const auto mapping = io::parse_mapping(argv[3]);
+    if (!mapping) {
+      std::fprintf(stderr, "error: %s\n", mapping.error().to_string().c_str());
+      return 1;
+    }
+    const auto valid = mapping::validate(instance->pipeline, instance->platform, *mapping);
+    if (!valid) {
+      std::fprintf(stderr, "invalid mapping: %s\n", valid.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("mapping %s\n  latency %.6f\n  failure probability %.6f\n",
+                mapping->describe().c_str(),
+                mapping::latency(instance->pipeline, instance->platform, *mapping),
+                mapping::failure_probability(instance->platform, *mapping));
+    return 0;
+  }
+
+  if (argc < 4) return usage();
+  const double threshold = std::strtod(argv[3], nullptr);
+  const bool min_fp = std::strcmp(command, "min-fp") == 0;
+  if (!min_fp && std::strcmp(command, "min-latency") != 0) return usage();
+
+  const auto solved =
+      min_fp ? algorithms::solve_min_fp_for_latency(instance->pipeline, instance->platform,
+                                                    threshold)
+             : algorithms::solve_min_latency_for_fp(instance->pipeline, instance->platform,
+                                                    threshold);
+  if (!solved) {
+    std::fprintf(stderr, "no solution: %s\n", solved.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s (via %s%s)\n  mapping %s\n  latency %.6f\n  failure probability %.6f\n",
+              min_fp ? "minimized failure probability" : "minimized latency",
+              solved->algorithm.c_str(), solved->exact ? ", certified optimal" : "",
+              solved->solution.mapping.describe().c_str(), solved->solution.latency,
+              solved->solution.failure_probability);
+  return 0;
+}

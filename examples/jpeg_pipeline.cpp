@@ -1,0 +1,68 @@
+// JPEG-encoder scenario (the paper's motivating application class and the
+// companion report [3]'s case study): map a 7-stage JPEG-like pipeline onto
+// a heterogeneous workstation cluster and print the latency/reliability
+// trade-off table a deployment engineer would read.
+//
+//   $ ./jpeg_pipeline [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "relap/algorithms/pareto_driver.hpp"
+#include "relap/algorithms/solve.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/throughput.hpp"
+
+int main(int argc, char** argv) {
+  using namespace relap;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2008;
+
+  // The application: color transform, subsample, block split, DCT,
+  // quantize, zigzag/RLE, entropy coding.
+  const pipeline::Pipeline pipe = gen::jpeg_like_pipeline();
+  static const char* kStageNames[] = {"rgb->ycbcr", "subsample", "blocksplit", "dct",
+                                      "quantize",   "zigzag",    "entropy"};
+  std::printf("JPEG-like pipeline (7 stages):\n");
+  for (std::size_t k = 0; k < pipe.stage_count(); ++k) {
+    std::printf("  %-10s  work %6.1f  in %5.1f  out %5.1f\n", kStageNames[k], pipe.work(k),
+                pipe.input_size(k), pipe.output_size(k));
+  }
+
+  // The platform: 10 workstations, heterogeneous speeds and failure rates,
+  // one switched LAN (identical links) — the Communication Homogeneous /
+  // Failure Heterogeneous class whose complexity the paper leaves open.
+  gen::PlatformGenOptions options;
+  options.processors = 10;
+  options.speed_min = 2.0;
+  options.speed_max = 30.0;
+  options.fp_min = 0.02;
+  options.fp_max = 0.4;
+  const platform::Platform plat = gen::random_comm_hom_het_failures(options, seed);
+  std::printf("\ncluster: %s\n", plat.describe().c_str());
+
+  // Sweep the latency budget and report the best reachable reliability.
+  const auto front = algorithms::heuristic_pareto_front(pipe, plat);
+  std::printf("\n%-12s %-14s %-12s %-10s  mapping\n", "latency<=", "failure prob",
+              "reliability", "period");
+  for (const auto& point : front) {
+    std::printf("%-12.3f %-14.6f %-12.6f %-10.3f  %s\n", point.latency,
+                point.failure_probability, 1.0 - point.failure_probability,
+                mapping::period(pipe, plat, point.mapping),
+                point.mapping.describe().c_str());
+  }
+
+  // A concrete deployment question: "we need five-nines per job batch and
+  // can tolerate 3x the best possible latency — what do we run?"
+  const double budget = 3.0 * mapping::latency_lower_bound(pipe, plat);
+  const auto solved = algorithms::solve_min_fp_for_latency(pipe, plat, budget);
+  if (solved) {
+    std::printf("\nunder budget %.3f: %s\n  -> latency %.3f, FP %.6f [%s]\n", budget,
+                solved->solution.mapping.describe().c_str(), solved->solution.latency,
+                solved->solution.failure_probability, solved->algorithm.c_str());
+  } else {
+    std::printf("\nunder budget %.3f: %s\n", budget, solved.error().to_string().c_str());
+  }
+  return 0;
+}

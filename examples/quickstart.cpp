@@ -1,0 +1,64 @@
+// Quickstart: build a pipeline and a platform, pick thresholds, solve both
+// bi-criteria directions with the automatic facade, inspect the result.
+//
+//   $ ./quickstart
+//
+// This walks the paper's Figure 5 instance because it tells the whole story
+// in eleven processors: a latency budget, a reliability target, and an
+// optimal mapping that needs both interval splitting and replication.
+
+#include <cstdio>
+
+#include "relap/algorithms/solve.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+
+int main() {
+  using namespace relap;
+
+  // 1. The application: a 2-stage pipeline. Stage 0 is cheap (w=1), stage 1
+  //    is heavy (w=100); delta = [10, 1, 0] are the data sizes flowing in,
+  //    between and out.
+  const pipeline::Pipeline pipe = gen::fig5_pipeline();
+  std::printf("application: %s\n", pipe.describe().c_str());
+
+  // 2. The platform: one slow reliable processor and ten fast flaky ones,
+  //    identical unit-bandwidth links.
+  const platform::Platform plat = gen::fig5_platform();
+  std::printf("platform:    %s\n\n", plat.describe().c_str());
+
+  // 3. Minimize the failure probability subject to a latency budget.
+  const double latency_budget = gen::fig5_latency_threshold();  // 22 time-units
+  algorithms::SolveOptions options;
+  options.exhaustive.max_evaluations = 10'000'000;
+  const auto min_fp = algorithms::solve_min_fp_for_latency(pipe, plat, latency_budget, options);
+  if (!min_fp) {
+    std::printf("min-FP solve failed: %s\n", min_fp.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("minimize FP s.t. latency <= %.0f  [%s%s]\n", latency_budget,
+              min_fp->algorithm.c_str(), min_fp->exact ? ", certified optimal" : "");
+  std::printf("  mapping: %s\n", min_fp->solution.mapping.describe().c_str());
+  std::printf("  latency = %.2f   failure probability = %.4f\n\n", min_fp->solution.latency,
+              min_fp->solution.failure_probability);
+
+  // 4. The other direction: minimize latency subject to a reliability target.
+  const double fp_target = 0.25;
+  const auto min_lat = algorithms::solve_min_latency_for_fp(pipe, plat, fp_target, options);
+  if (!min_lat) {
+    std::printf("min-latency solve failed: %s\n", min_lat.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("minimize latency s.t. FP <= %.2f  [%s%s]\n", fp_target,
+              min_lat->algorithm.c_str(), min_lat->exact ? ", certified optimal" : "");
+  std::printf("  mapping: %s\n", min_lat->solution.mapping.describe().c_str());
+  std::printf("  latency = %.2f   failure probability = %.4f\n\n", min_lat->solution.latency,
+              min_lat->solution.failure_probability);
+
+  // 5. Every mapping can be re-evaluated directly with the cost model.
+  const auto& m = min_fp->solution.mapping;
+  std::printf("re-evaluated: latency %.2f (Eq. 1), FP %.4f (product formula)\n",
+              mapping::latency(pipe, plat, m), mapping::failure_probability(plat, m));
+  return 0;
+}

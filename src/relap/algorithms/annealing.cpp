@@ -1,0 +1,138 @@
+#include "relap/algorithms/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/rng.hpp"
+
+namespace relap::algorithms {
+
+namespace {
+
+using Assignments = std::vector<mapping::IntervalAssignment>;
+
+/// Draws one random applicable move; returns nullopt if the drawn move does
+/// not apply to the drawn operands (the caller just redraws).
+std::optional<Assignments> random_neighbor(util::Rng& rng, const platform::Platform& platform,
+                                           const Assignments& current) {
+  const std::size_t m = platform.processor_count();
+  std::vector<bool> used(m, false);
+  for (const auto& a : current) {
+    for (const platform::ProcessorId u : a.processors) used[u] = true;
+  }
+  std::vector<platform::ProcessorId> unused;
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    if (!used[u]) unused.push_back(u);
+  }
+
+  const std::size_t j = rng.index(current.size());
+  const mapping::IntervalAssignment& a = current[j];
+  Assignments next = current;
+
+  switch (rng.index(7)) {
+    case 0:  // shift boundary left: give the last stage to the next interval
+      if (j + 1 >= current.size() || a.stages.length() < 2) return std::nullopt;
+      --next[j].stages.last;
+      --next[j + 1].stages.first;
+      return next;
+    case 1:  // shift boundary right: take a stage from the next interval
+      if (j + 1 >= current.size() || current[j + 1].stages.length() < 2) return std::nullopt;
+      ++next[j].stages.last;
+      ++next[j + 1].stages.first;
+      return next;
+    case 2:  // merge with the next interval
+      if (j + 1 >= current.size()) return std::nullopt;
+      next[j].stages.last = next[j + 1].stages.last;
+      next[j].processors.insert(next[j].processors.end(), next[j + 1].processors.begin(),
+                                next[j + 1].processors.end());
+      next.erase(next.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+      return next;
+    case 3: {  // split at a random cut, right half takes a random processor
+      if (a.stages.length() < 2) return std::nullopt;
+      const std::size_t cut =
+          a.stages.first + rng.index(a.stages.length() - 1);  // in [first, last)
+      platform::ProcessorId right;
+      if (!unused.empty() && (a.processors.size() < 2 || rng.bernoulli(0.5))) {
+        right = unused[rng.index(unused.size())];
+      } else if (a.processors.size() >= 2) {
+        const std::size_t pick = rng.index(next[j].processors.size());
+        right = next[j].processors[pick];
+        next[j].processors.erase(next[j].processors.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        return std::nullopt;
+      }
+      const std::size_t old_last = a.stages.last;
+      next[j].stages.last = cut;
+      next.insert(next.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                  mapping::IntervalAssignment{{cut + 1, old_last}, {right}});
+      return next;
+    }
+    case 4:  // add an unused processor to the group
+      if (unused.empty()) return std::nullopt;
+      next[j].processors.push_back(unused[rng.index(unused.size())]);
+      return next;
+    case 5:  // remove a random group member
+      if (a.processors.size() < 2) return std::nullopt;
+      next[j].processors.erase(next[j].processors.begin() +
+                               static_cast<std::ptrdiff_t>(rng.index(a.processors.size())));
+      return next;
+    case 6:  // swap a group member for an unused processor
+      if (unused.empty()) return std::nullopt;
+      next[j].processors[rng.index(a.processors.size())] = unused[rng.index(unused.size())];
+      return next;
+    default: RELAP_UNREACHABLE("move index out of range");
+  }
+}
+
+Solution anneal(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                Solution start, double cap, const AnnealingOptions& options,
+                double (*energy)(const Solution&, double cap, double penalty),
+                bool (*better)(const Solution&, const Solution&, double)) {
+  util::Rng rng(options.seed);
+  Solution current = start;
+  Solution best = std::move(start);
+  double temperature = options.initial_temperature;
+
+  for (std::size_t it = 0; it < options.iterations; ++it, temperature *= options.cooling) {
+    std::optional<Assignments> neighbor = random_neighbor(rng, platform, current.mapping.intervals());
+    if (!neighbor) continue;
+    Solution candidate = evaluate(pipeline, platform, mapping::IntervalMapping(std::move(*neighbor)));
+    const double delta =
+        energy(candidate, cap, options.penalty) - energy(current, cap, options.penalty);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = candidate;
+    }
+    if (better(candidate, best, cap)) best = std::move(candidate);
+  }
+  return best;
+}
+
+double energy_min_fp(const Solution& s, double cap, double penalty) {
+  const double violation = std::max(0.0, (s.latency - cap) / std::max(cap, 1e-12));
+  return s.failure_probability + penalty * violation;
+}
+
+double energy_min_latency(const Solution& s, double cap, double penalty) {
+  const double violation =
+      std::max(0.0, (s.failure_probability - cap) / std::max(cap, 1e-12));
+  return s.latency + penalty * violation * std::max(s.latency, 1.0);
+}
+
+}  // namespace
+
+Solution anneal_min_fp(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                       Solution start, double max_latency, const AnnealingOptions& options) {
+  return anneal(pipeline, platform, std::move(start), max_latency, options, &energy_min_fp,
+                &better_min_fp);
+}
+
+Solution anneal_min_latency(const pipeline::Pipeline& pipeline,
+                            const platform::Platform& platform, Solution start,
+                            double max_failure_probability, const AnnealingOptions& options) {
+  return anneal(pipeline, platform, std::move(start), max_failure_probability, options,
+                &energy_min_latency, &better_min_latency);
+}
+
+}  // namespace relap::algorithms

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file annealing.hpp
+/// Simulated annealing over interval mappings — the randomized counterpart
+/// of local_search.hpp, able to cross the infeasible region that steepest
+/// descent cannot.
+///
+/// Energy for "minimize FP subject to latency <= L":
+///     E = FP + penalty * max(0, (latency - L) / L)
+/// and symmetrically for the other direction. A random neighbor (same move
+/// set as local search) is accepted with the Metropolis rule under a
+/// geometric cooling schedule. The best *feasible* solution ever visited is
+/// returned; if none is feasible the least-infeasible one is returned with
+/// its objectives evaluated (callers check the threshold themselves).
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+struct AnnealingOptions {
+  std::uint64_t seed = 0xC0FFEE123456789ULL;
+  std::size_t iterations = 20'000;
+  double initial_temperature = 0.5;
+  double cooling = 0.9995;      ///< geometric factor per iteration
+  double penalty = 10.0;        ///< constraint-violation weight
+};
+
+/// Minimizes FP subject to latency <= `max_latency`, starting from `start`.
+[[nodiscard]] Solution anneal_min_fp(const pipeline::Pipeline& pipeline,
+                                     const platform::Platform& platform, Solution start,
+                                     double max_latency, const AnnealingOptions& options = {});
+
+/// Minimizes latency subject to FP <= `max_failure_probability`.
+[[nodiscard]] Solution anneal_min_latency(const pipeline::Pipeline& pipeline,
+                                          const platform::Platform& platform, Solution start,
+                                          double max_failure_probability,
+                                          const AnnealingOptions& options = {});
+
+}  // namespace relap::algorithms

@@ -1,0 +1,76 @@
+#include "relap/algorithms/comm_hom.hpp"
+
+#include <cmath>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::algorithms {
+
+namespace {
+
+void check_preconditions(const platform::Platform& platform) {
+  RELAP_ASSERT(platform.has_homogeneous_links(),
+               "Algorithms 3/4 require identical communication links");
+  RELAP_ASSERT(platform.is_failure_homogeneous(),
+               "Algorithms 3/4 require homogeneous failure probabilities");
+}
+
+/// T(k) when replicating on the k fastest processors; `order` is sorted by
+/// non-increasing speed.
+double latency_with_k_fastest(const pipeline::Pipeline& pipeline,
+                              const platform::Platform& platform,
+                              const std::vector<platform::ProcessorId>& order, std::size_t k) {
+  const double b = platform.common_bandwidth();
+  return static_cast<double>(k) * pipeline.data(0) / b +
+         pipeline.total_work() / platform.speed(order[k - 1]) +
+         pipeline.data(pipeline.stage_count()) / b;
+}
+
+Solution replicate_on_k_fastest(const pipeline::Pipeline& pipeline,
+                                const platform::Platform& platform,
+                                std::vector<platform::ProcessorId> order, std::size_t k) {
+  order.resize(k);
+  return evaluate(pipeline, platform,
+                  mapping::IntervalMapping::single_interval(pipeline.stage_count(),
+                                                            std::move(order)));
+}
+
+}  // namespace
+
+Result comm_hom_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                   const platform::Platform& platform, double max_latency) {
+  check_preconditions(platform);
+  const std::vector<platform::ProcessorId> order = platform.by_speed_desc();
+  // T(k) is non-decreasing in k (the transfer term grows, s_(k) shrinks), so
+  // the scan can stop at the first violation.
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    if (!within_cap(latency_with_k_fastest(pipeline, platform, order, k), max_latency)) break;
+    best_k = k;
+  }
+  if (best_k == 0) {
+    return util::infeasible("no replication count meets latency threshold " +
+                            util::format_double(max_latency));
+  }
+  return replicate_on_k_fastest(pipeline, platform, order, best_k);
+}
+
+Result comm_hom_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                   const platform::Platform& platform,
+                                   double max_failure_probability) {
+  check_preconditions(platform);
+  const std::vector<platform::ProcessorId> order = platform.by_speed_desc();
+  const double fp = platform.common_failure_prob();
+  double product = 1.0;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    product *= fp;
+    if (within_cap(product, max_failure_probability)) {
+      return replicate_on_k_fastest(pipeline, platform, order, k);
+    }
+  }
+  return util::infeasible("even replicating on all processors exceeds failure threshold " +
+                          util::format_double(max_failure_probability));
+}
+
+}  // namespace relap::algorithms

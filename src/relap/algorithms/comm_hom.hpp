@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file comm_hom.hpp
+/// Bi-criteria algorithms for Communication Homogeneous platforms with
+/// homogeneous failures (paper Theorem 6, Algorithms 3 and 4).
+///
+/// With identical links but heterogeneous speeds, a single interval is still
+/// optimal (Lemma 1 requires Failure Homogeneous here). Replicating on the k
+/// *fastest* processors gives latency
+///
+///     T(k) = k * delta_0 / b + W / s_(k) + delta_n / b,
+///
+/// where s_(k) is the k-th fastest speed (the slowest member), and failure
+/// probability fp^k. T(k) is non-decreasing and fp^k decreasing in k, so
+/// Algorithm 3 takes the largest feasible k and Algorithm 4 the smallest k
+/// meeting FP.
+///
+/// With heterogeneous failure probabilities this single-interval approach is
+/// no longer optimal (the paper's Figure 5 example needs two intervals; the
+/// complexity is open) — see single_interval.hpp for the exact
+/// single-interval solver and heuristics.hpp for multi-interval heuristics.
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// Algorithm 3: minimize the failure probability subject to latency <= L.
+/// Preconditions: `platform.has_homogeneous_links()` and
+/// `platform.is_failure_homogeneous()`.
+[[nodiscard]] Result comm_hom_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                                 const platform::Platform& platform,
+                                                 double max_latency);
+
+/// Algorithm 4: minimize the latency subject to failure probability <= FP.
+/// Preconditions: as for Algorithm 3.
+[[nodiscard]] Result comm_hom_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                                 const platform::Platform& platform,
+                                                 double max_failure_probability);
+
+}  // namespace relap::algorithms

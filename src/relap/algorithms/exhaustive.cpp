@@ -1,0 +1,224 @@
+#include "relap/algorithms/exhaustive.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "relap/mapping/throughput.hpp"
+#include "relap/util/assert.hpp"
+#include "relap/util/enumeration.hpp"
+#include "relap/util/pareto.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::algorithms {
+
+namespace {
+
+/// Enumerates every interval mapping within the options' structural caps,
+/// calling `visit` with each evaluated solution. Returns true iff the
+/// enumeration completed within the evaluation budget.
+bool for_each_interval_solution(const pipeline::Pipeline& pipeline,
+                                const platform::Platform& platform,
+                                const ExhaustiveOptions& options,
+                                const std::function<void(Solution)>& visit) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  const std::size_t max_parts = std::min({n, m, options.max_intervals});
+  std::uint64_t evaluations = 0;
+
+  const bool completed = util::for_each_composition(
+      n, max_parts, [&](std::span<const std::size_t> lengths) {
+        const std::size_t p = lengths.size();
+        return util::for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
+          if (++evaluations > options.max_evaluations) return false;
+          std::vector<std::vector<platform::ProcessorId>> groups(p);
+          for (platform::ProcessorId u = 0; u < m; ++u) {
+            if (group_of[u] < p) groups[group_of[u]].push_back(u);
+          }
+          for (const auto& g : groups) {
+            if (g.size() > options.max_replication) return true;  // skip, keep enumerating
+          }
+          visit(evaluate(pipeline, platform,
+                         mapping::IntervalMapping::from_composition(lengths, std::move(groups))));
+          return true;
+        });
+      });
+  return completed;
+}
+
+util::Error budget_error(const ExhaustiveOptions& options) {
+  return util::budget_exceeded("exhaustive enumeration exceeded " +
+                               std::to_string(options.max_evaluations) + " evaluations");
+}
+
+}  // namespace
+
+util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeline,
+                                                const platform::Platform& platform,
+                                                const ExhaustiveOptions& options) {
+  util::ParetoFront front;
+  std::vector<ParetoSolution> pool;
+  std::uint64_t evaluations = 0;
+  const bool completed = for_each_interval_solution(
+      pipeline, platform, options, [&](Solution s) {
+        ++evaluations;
+        const util::ParetoPoint point{s.latency, s.failure_probability, pool.size()};
+        if (front.insert(point)) {
+          pool.push_back(ParetoSolution{s.latency, s.failure_probability, std::move(s.mapping)});
+        }
+      });
+  if (!completed) return budget_error(options);
+
+  ParetoOutcome outcome;
+  outcome.evaluations = evaluations;
+  outcome.front.reserve(front.size());
+  for (const util::ParetoPoint& point : front.points()) {
+    outcome.front.push_back(std::move(pool[point.payload]));
+  }
+  return outcome;
+}
+
+Result exhaustive_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                     const platform::Platform& platform, double max_latency,
+                                     const ExhaustiveOptions& options) {
+  std::optional<Solution> best;
+  const bool completed = for_each_interval_solution(
+      pipeline, platform, options, [&](Solution s) {
+        if (!within_cap(s.latency, max_latency)) return;
+        if (!best || better_min_fp(s, *best, max_latency)) best = std::move(s);
+      });
+  if (!completed) return budget_error(options);
+  if (!best) {
+    return util::infeasible("no interval mapping meets latency threshold " +
+                            util::format_double(max_latency));
+  }
+  return *std::move(best);
+}
+
+Result exhaustive_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                     const platform::Platform& platform,
+                                     double max_failure_probability,
+                                     const ExhaustiveOptions& options) {
+  std::optional<Solution> best;
+  const bool completed = for_each_interval_solution(
+      pipeline, platform, options, [&](Solution s) {
+        if (!within_cap(s.failure_probability, max_failure_probability)) return;
+        if (!best || better_min_latency(s, *best, max_failure_probability)) best = std::move(s);
+      });
+  if (!completed) return budget_error(options);
+  if (!best) {
+    return util::infeasible("no interval mapping meets failure threshold " +
+                            util::format_double(max_failure_probability));
+  }
+  return *std::move(best);
+}
+
+Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeline,
+                                                const platform::Platform& platform,
+                                                double max_latency, double max_period,
+                                                const ExhaustiveOptions& options) {
+  std::optional<Solution> best;
+  const bool completed = for_each_interval_solution(
+      pipeline, platform, options, [&](Solution s) {
+        if (!within_cap(s.latency, max_latency)) return;
+        if (!within_cap(mapping::period(pipeline, platform, s.mapping), max_period)) return;
+        if (!best || better_min_fp(s, *best, max_latency)) best = std::move(s);
+      });
+  if (!completed) return budget_error(options);
+  if (!best) {
+    return util::infeasible("no interval mapping meets latency threshold " +
+                            util::format_double(max_latency) + " and period threshold " +
+                            util::format_double(max_period));
+  }
+  return *std::move(best);
+}
+
+GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
+                                             const platform::Platform& platform,
+                                             std::uint64_t max_evaluations) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  std::vector<platform::ProcessorId> assignment(n, 0);
+  std::optional<GeneralSolution> best;
+  std::uint64_t evaluations = 0;
+
+  // Odometer over all m^n assignments.
+  while (true) {
+    if (++evaluations > max_evaluations) {
+      return util::budget_exceeded("general-mapping enumeration exceeded " +
+                                   std::to_string(max_evaluations) + " evaluations");
+    }
+    mapping::GeneralMapping candidate(assignment);
+    const double lat = mapping::latency(pipeline, platform, candidate);
+    if (!best || lat < best->latency) best = GeneralSolution{std::move(candidate), lat};
+
+    std::size_t k = 0;
+    while (k < n && assignment[k] + 1 == m) {
+      assignment[k] = 0;
+      ++k;
+    }
+    if (k == n) break;
+    ++assignment[k];
+  }
+  return *std::move(best);
+}
+
+GeneralResult exhaustive_one_to_one_min_latency(const pipeline::Pipeline& pipeline,
+                                                const platform::Platform& platform,
+                                                std::uint64_t max_evaluations) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  if (n > m) return util::infeasible("one-to-one mappings need n <= m");
+
+  std::vector<platform::ProcessorId> assignment(n, 0);
+  std::vector<bool> used(m, false);
+  std::optional<GeneralSolution> best;
+  std::uint64_t evaluations = 0;
+  bool over_budget = false;
+
+  // Depth-first enumeration of all injections [0,n) -> [0,m).
+  auto recurse = [&](auto&& self, std::size_t stage) -> void {
+    if (over_budget) return;
+    if (stage == n) {
+      if (++evaluations > max_evaluations) {
+        over_budget = true;
+        return;
+      }
+      mapping::GeneralMapping candidate(assignment);
+      const double lat = mapping::latency(pipeline, platform, candidate);
+      if (!best || lat < best->latency) best = GeneralSolution{std::move(candidate), lat};
+      return;
+    }
+    for (platform::ProcessorId u = 0; u < m; ++u) {
+      if (used[u]) continue;
+      used[u] = true;
+      assignment[stage] = u;
+      self(self, stage + 1);
+      used[u] = false;
+    }
+  };
+  recurse(recurse, 0);
+
+  if (over_budget) {
+    return util::budget_exceeded("one-to-one enumeration exceeded " +
+                                 std::to_string(max_evaluations) + " evaluations");
+  }
+  return *std::move(best);
+}
+
+std::uint64_t interval_mapping_count(std::size_t stages, std::size_t processors) {
+  const std::size_t max_parts = std::min(stages, processors);
+  std::uint64_t total = 0;
+  for (std::size_t p = 1; p <= max_parts; ++p) {
+    const std::uint64_t compositions = util::binomial(stages - 1, p - 1);
+    const std::uint64_t groupings = util::count_groupings(processors, p);
+    if (compositions != 0 && groupings > ~std::uint64_t{0} / compositions) {
+      return ~std::uint64_t{0};  // saturate
+    }
+    const std::uint64_t product = compositions * groupings;
+    if (total > ~std::uint64_t{0} - product) return ~std::uint64_t{0};
+    total += product;
+  }
+  return total;
+}
+
+}  // namespace relap::algorithms

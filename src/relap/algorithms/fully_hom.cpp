@@ -1,0 +1,68 @@
+#include "relap/algorithms/fully_hom.hpp"
+
+#include <algorithm>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::algorithms {
+
+namespace {
+
+/// T(k) for a single interval of k identical-speed replicas.
+double single_interval_latency(const pipeline::Pipeline& pipeline,
+                               const platform::Platform& platform, std::size_t k) {
+  const double b = platform.common_bandwidth();
+  return static_cast<double>(k) * pipeline.data(0) / b +
+         pipeline.total_work() / platform.speed(0) + pipeline.data(pipeline.stage_count()) / b;
+}
+
+Solution replicate_on_most_reliable(const pipeline::Pipeline& pipeline,
+                                    const platform::Platform& platform, std::size_t k) {
+  std::vector<platform::ProcessorId> order = platform.by_reliability();
+  order.resize(k);
+  return evaluate(pipeline, platform,
+                  mapping::IntervalMapping::single_interval(pipeline.stage_count(),
+                                                            std::move(order)));
+}
+
+}  // namespace
+
+Result fully_hom_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                    const platform::Platform& platform, double max_latency) {
+  RELAP_ASSERT(platform.is_fully_homogeneous(),
+               "Algorithm 1 requires a Fully Homogeneous platform");
+  const std::size_t m = platform.processor_count();
+  // T(k) is non-decreasing in k; find the largest feasible k.
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k <= m; ++k) {
+    if (!within_cap(single_interval_latency(pipeline, platform, k), max_latency)) break;
+    best_k = k;
+  }
+  if (best_k == 0) {
+    return util::infeasible("no replication count meets latency threshold " +
+                            util::format_double(max_latency));
+  }
+  return replicate_on_most_reliable(pipeline, platform, best_k);
+}
+
+Result fully_hom_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                    const platform::Platform& platform,
+                                    double max_failure_probability) {
+  RELAP_ASSERT(platform.is_fully_homogeneous(),
+               "Algorithm 2 requires a Fully Homogeneous platform");
+  const std::vector<platform::ProcessorId> order = platform.by_reliability();
+  // FP(k) = prod of the k smallest fp_u is non-increasing in k; latency is
+  // non-decreasing in k, so the smallest feasible k is optimal.
+  double product = 1.0;
+  for (std::size_t k = 1; k <= order.size(); ++k) {
+    product *= platform.failure_prob(order[k - 1]);
+    if (within_cap(product, max_failure_probability)) {
+      return replicate_on_most_reliable(pipeline, platform, k);
+    }
+  }
+  return util::infeasible("even replicating on all processors exceeds failure threshold " +
+                          util::format_double(max_failure_probability));
+}
+
+}  // namespace relap::algorithms

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file fully_hom.hpp
+/// Bi-criteria algorithms for Fully Homogeneous platforms (paper Theorem 5,
+/// Algorithms 1 and 2).
+///
+/// By Lemma 1 the optimal solution maps the whole pipeline as a single
+/// interval; the only question is the replication set. With identical links
+/// and speeds the latency depends only on the set's *size* k:
+///
+///     T(k) = k * delta_0 / b + W / s + delta_n / b,
+///
+/// so Algorithm 1 picks the largest k with T(k) <= L and replicates on the k
+/// most reliable processors, and Algorithm 2 picks the smallest k whose k
+/// most reliable processors satisfy FP. Per the paper's closing remark, both
+/// algorithms remain optimal when failure probabilities are heterogeneous
+/// (the platform only needs homogeneous speeds and links).
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// Algorithm 1: minimize the failure probability subject to latency <= L.
+/// Precondition: `platform.is_fully_homogeneous()`.
+/// Returns an "infeasible" error when even a single processor exceeds L.
+[[nodiscard]] Result fully_hom_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                                  const platform::Platform& platform,
+                                                  double max_latency);
+
+/// Algorithm 2: minimize the latency subject to failure probability <= FP.
+/// Precondition: `platform.is_fully_homogeneous()`.
+/// Returns an "infeasible" error when even all m processors exceed FP.
+[[nodiscard]] Result fully_hom_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                                  const platform::Platform& platform,
+                                                  double max_failure_probability);
+
+}  // namespace relap::algorithms

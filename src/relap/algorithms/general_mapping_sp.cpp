@@ -1,0 +1,61 @@
+#include "relap/algorithms/general_mapping_sp.hpp"
+
+#include <limits>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::algorithms {
+
+GeneralSolution general_mapping_min_latency(const pipeline::Pipeline& pipeline,
+                                            const platform::Platform& platform) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+
+  // dist[u]: best cost of a path reaching "stage k on P_u", including the
+  // computation of stage k. parent[k][u]: predecessor processor of stage k.
+  std::vector<double> dist(m);
+  std::vector<std::vector<platform::ProcessorId>> parent(
+      n, std::vector<platform::ProcessorId>(m, 0));
+
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    dist[u] = pipeline.data(0) / platform.bandwidth_in(u) + pipeline.work(0) / platform.speed(u);
+  }
+
+  std::vector<double> next(m);
+  for (std::size_t k = 1; k < n; ++k) {
+    for (platform::ProcessorId v = 0; v < m; ++v) {
+      double best = std::numeric_limits<double>::infinity();
+      platform::ProcessorId best_u = 0;
+      for (platform::ProcessorId u = 0; u < m; ++u) {
+        const double transfer = (u == v) ? 0.0 : pipeline.data(k) / platform.bandwidth(u, v);
+        const double cost = dist[u] + transfer;
+        if (cost < best) {
+          best = cost;
+          best_u = u;
+        }
+      }
+      next[v] = best + pipeline.work(k) / platform.speed(v);
+      parent[k][v] = best_u;
+    }
+    dist.swap(next);
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  platform::ProcessorId last = 0;
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    const double cost = dist[u] + pipeline.data(n) / platform.bandwidth_out(u);
+    if (cost < best) {
+      best = cost;
+      last = u;
+    }
+  }
+
+  std::vector<platform::ProcessorId> assignment(n);
+  assignment[n - 1] = last;
+  for (std::size_t k = n - 1; k > 0; --k) {
+    assignment[k - 1] = parent[k][assignment[k]];
+  }
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best};
+}
+
+}  // namespace relap::algorithms

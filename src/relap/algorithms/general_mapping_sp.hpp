@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file general_mapping_sp.hpp
+/// Theorem 4: minimizing the latency on Fully Heterogeneous platforms is
+/// polynomial for *general* mappings (a processor may execute any set of
+/// stages, not necessarily consecutive).
+///
+/// The construction is the layered graph of the paper's Figure 6: vertex
+/// V_{i,u} means "stage i runs on P_u"; edge V_{i,u} -> V_{i+1,v} carries
+/// w_i / s_u plus delta_i / b_{u,v} when u != v (intra-processor transfers
+/// are free); source/sink edges carry the P_in / P_out transfers. The
+/// minimum-latency mapping is a shortest source-to-sink path. Because the
+/// graph is layered (a DAG), one dynamic-programming sweep in O(n * m^2)
+/// replaces a general shortest-path algorithm.
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// The latency-optimal general mapping. Always feasible (any platform).
+[[nodiscard]] GeneralSolution general_mapping_min_latency(const pipeline::Pipeline& pipeline,
+                                                          const platform::Platform& platform);
+
+}  // namespace relap::algorithms

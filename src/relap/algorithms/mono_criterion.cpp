@@ -1,0 +1,24 @@
+#include "relap/algorithms/mono_criterion.hpp"
+
+#include "relap/util/assert.hpp"
+
+namespace relap::algorithms {
+
+Solution minimize_failure_probability(const pipeline::Pipeline& pipeline,
+                                      const platform::Platform& platform) {
+  std::vector<platform::ProcessorId> all(platform.processor_count());
+  for (std::size_t u = 0; u < all.size(); ++u) all[u] = u;
+  return evaluate(pipeline, platform,
+                  mapping::IntervalMapping::single_interval(pipeline.stage_count(), std::move(all)));
+}
+
+Solution minimize_latency_comm_hom(const pipeline::Pipeline& pipeline,
+                                   const platform::Platform& platform) {
+  RELAP_ASSERT(platform.has_homogeneous_links(),
+               "Theorem 2 applies to identical-link platforms only");
+  return evaluate(pipeline, platform,
+                  mapping::IntervalMapping::single_interval(pipeline.stage_count(),
+                                                            {platform.fastest_processor()}));
+}
+
+}  // namespace relap::algorithms

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file mono_criterion.hpp
+/// The mono-criterion polynomial cases (paper Section 4.1).
+///
+/// * Theorem 1 — minimizing the failure probability alone is polynomial on
+///   every platform class: replicate the whole pipeline as a single interval
+///   on *all* processors.
+/// * Theorem 2 — minimizing the latency alone is polynomial on
+///   Communication Homogeneous (hence also Fully Homogeneous) platforms:
+///   map the whole pipeline as a single interval on the fastest processor
+///   (replication only adds communications, splitting only adds transfers).
+/// * On Fully Heterogeneous platforms latency minimization is NP-hard for
+///   one-to-one mappings (Theorem 3, see one_to_one_exact.hpp and
+///   reductions/tsp.hpp) but polynomial for general mappings (Theorem 4, see
+///   general_mapping_sp.hpp).
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// Theorem 1: the mapping of minimal failure probability (single interval on
+/// all m processors). Works on every platform class.
+[[nodiscard]] Solution minimize_failure_probability(const pipeline::Pipeline& pipeline,
+                                                    const platform::Platform& platform);
+
+/// Theorem 2: the mapping of minimal latency on an identical-link platform
+/// (single interval on the fastest processor).
+/// Precondition: `platform.has_homogeneous_links()`.
+[[nodiscard]] Solution minimize_latency_comm_hom(const pipeline::Pipeline& pipeline,
+                                                 const platform::Platform& platform);
+
+}  // namespace relap::algorithms

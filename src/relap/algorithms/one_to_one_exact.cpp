@@ -1,0 +1,86 @@
+#include "relap/algorithms/one_to_one_exact.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::algorithms {
+
+GeneralResult one_to_one_min_latency(const pipeline::Pipeline& pipeline,
+                                     const platform::Platform& platform,
+                                     const OneToOneOptions& options) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  if (n > m) {
+    return util::infeasible("one-to-one mappings need n <= m (" + std::to_string(n) +
+                            " stages, " + std::to_string(m) + " processors)");
+  }
+  RELAP_ASSERT(options.max_processors <= 26, "2^m DP tables beyond m=26 cannot fit in memory");
+  if (m > options.max_processors) {
+    return util::budget_exceeded("Held-Karp needs 2^m tables; m=" + std::to_string(m) +
+                                 " exceeds the cap of " + std::to_string(options.max_processors));
+  }
+
+  const std::size_t mask_count = std::size_t{1} << m;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[mask * m + u]: stages 0..popcount(mask)-1 mapped onto exactly `mask`,
+  // the last of them on u. parent holds the predecessor processor.
+  std::vector<double> dp(mask_count * m, kInf);
+  std::vector<std::uint8_t> parent(mask_count * m, 0);
+
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    dp[(std::size_t{1} << u) * m + u] =
+        pipeline.data(0) / platform.bandwidth_in(u) + pipeline.work(0) / platform.speed(u);
+  }
+
+  double best = kInf;
+  std::size_t best_mask = 0;
+  platform::ProcessorId best_last = 0;
+
+  for (std::size_t mask = 1; mask < mask_count; ++mask) {
+    const auto filled = static_cast<std::size_t>(std::popcount(mask));
+    if (filled > n) continue;
+    for (platform::ProcessorId u = 0; u < m; ++u) {
+      if (!(mask & (std::size_t{1} << u))) continue;
+      const double base = dp[mask * m + u];
+      if (base == kInf) continue;
+      if (filled == n) {
+        const double total = base + pipeline.data(n) / platform.bandwidth_out(u);
+        if (total < best) {
+          best = total;
+          best_mask = mask;
+          best_last = u;
+        }
+        continue;
+      }
+      // Extend with stage `filled` on a fresh processor v.
+      for (platform::ProcessorId v = 0; v < m; ++v) {
+        if (mask & (std::size_t{1} << v)) continue;
+        const double cost = base + pipeline.data(filled) / platform.bandwidth(u, v) +
+                            pipeline.work(filled) / platform.speed(v);
+        const std::size_t slot = (mask | (std::size_t{1} << v)) * m + v;
+        if (cost < dp[slot]) {
+          dp[slot] = cost;
+          parent[slot] = static_cast<std::uint8_t>(u);
+        }
+      }
+    }
+  }
+
+  RELAP_ASSERT(best < kInf, "a one-to-one mapping always exists when n <= m");
+  std::vector<platform::ProcessorId> assignment(n);
+  std::size_t mask = best_mask;
+  platform::ProcessorId u = best_last;
+  for (std::size_t k = n; k-- > 0;) {
+    assignment[k] = u;
+    const platform::ProcessorId prev = parent[mask * m + u];
+    mask &= ~(std::size_t{1} << u);
+    u = prev;
+  }
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best};
+}
+
+}  // namespace relap::algorithms

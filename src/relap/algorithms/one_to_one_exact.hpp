@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file one_to_one_exact.hpp
+/// Exact minimum-latency one-to-one mapping on Fully Heterogeneous
+/// platforms — the problem Theorem 3 proves NP-hard via reduction from TSP.
+///
+/// Being NP-hard, the solver is exponential: a Held-Karp dynamic program
+/// over processor subsets, dp[S][u] = minimum latency of mapping stages
+/// 0..|S|-1 onto exactly the processors of S with stage |S|-1 on u. This is
+/// O(2^m * m^2) time and O(2^m * m) memory, which is exactly the cost the
+/// hardness result predicts; the `max_processors` budget refuses instances
+/// that would not fit (the tests and benches stay well below it). The bench
+/// for Theorem 3 uses this solver to exhibit the exponential growth and to
+/// verify the TSP reduction round-trip.
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+struct OneToOneOptions {
+  /// Hard cap on m: the DP allocates 2^m * m doubles (~170 MB at m = 20);
+  /// beyond that the table does not fit in reasonable memory.
+  std::size_t max_processors = 20;
+};
+
+/// The latency-optimal one-to-one mapping (each stage on a distinct
+/// processor). Errors: "infeasible" if n > m, "budget" if m exceeds
+/// `options.max_processors`.
+[[nodiscard]] GeneralResult one_to_one_min_latency(const pipeline::Pipeline& pipeline,
+                                                   const platform::Platform& platform,
+                                                   const OneToOneOptions& options = {});
+
+}  // namespace relap::algorithms

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file pareto_driver.hpp
+/// Builds latency/FP Pareto fronts out of constrained solvers.
+///
+/// Any solver of "minimize FP subject to latency <= L" induces a front: sweep
+/// L over a grid between the latency lower bound and the latency of the most
+/// replicated candidate, solve at each threshold, and keep the non-dominated
+/// outcomes. This driver is how the benches compare heuristic fronts with
+/// the exhaustive ground truth and how examples expose trade-off tables.
+
+#include <functional>
+#include <vector>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// A constrained solver: latency threshold -> best-effort solution.
+using MinFpSolver = std::function<Result(double max_latency)>;
+
+struct ParetoDriverOptions {
+  /// Number of latency thresholds swept (log-spaced between bounds).
+  std::size_t thresholds = 24;
+};
+
+/// Sweeps latency thresholds and merges the solver's answers into a front.
+/// Infeasible thresholds are skipped.
+[[nodiscard]] std::vector<ParetoSolution> sweep_latency_thresholds(
+    const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+    const MinFpSolver& solver, const ParetoDriverOptions& options = {});
+
+/// Convenience: the heuristic front (heuristic_min_fp_for_latency swept over
+/// thresholds, plus the two mono-criterion extreme points).
+[[nodiscard]] std::vector<ParetoSolution> heuristic_pareto_front(
+    const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+    const ParetoDriverOptions& options = {});
+
+/// Area-style front comparison: mean over `reference`'s points of the FP
+/// ratio achieved/reference at the reference point's latency (>= 1; 1 means
+/// `achieved` matches the reference everywhere). Points of `reference` whose
+/// latency no achieved point can meet contribute `miss_penalty`.
+[[nodiscard]] double front_fp_ratio(const std::vector<ParetoSolution>& achieved,
+                                    const std::vector<ParetoSolution>& reference,
+                                    double miss_penalty = 10.0);
+
+}  // namespace relap::algorithms

@@ -1,0 +1,121 @@
+#include "relap/algorithms/single_interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/stats.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::algorithms {
+
+namespace {
+
+/// The k most reliable processors among those with speed >= `speed_floor`,
+/// or nullopt if fewer than k qualify. `by_reliability` is the platform's
+/// most-reliable-first order.
+std::optional<std::vector<platform::ProcessorId>> most_reliable_at_least(
+    const platform::Platform& platform, const std::vector<platform::ProcessorId>& by_reliability,
+    double speed_floor, std::size_t k) {
+  std::vector<platform::ProcessorId> picked;
+  picked.reserve(k);
+  for (const platform::ProcessorId u : by_reliability) {
+    if (platform.speed(u) >= speed_floor) {
+      picked.push_back(u);
+      if (picked.size() == k) return picked;
+    }
+  }
+  return std::nullopt;
+}
+
+Solution to_solution(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                     std::vector<platform::ProcessorId> group) {
+  return evaluate(pipeline, platform,
+                  mapping::IntervalMapping::single_interval(pipeline.stage_count(),
+                                                            std::move(group)));
+}
+
+}  // namespace
+
+Result single_interval_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                          const platform::Platform& platform,
+                                          double max_latency) {
+  RELAP_ASSERT(platform.has_homogeneous_links(),
+               "the single-interval solver requires identical links");
+  const std::size_t m = platform.processor_count();
+  const double b = platform.common_bandwidth();
+  const double work = pipeline.total_work();
+  const double fixed = pipeline.data(pipeline.stage_count()) / b;
+  const std::vector<platform::ProcessorId> by_rel = platform.by_reliability();
+
+  std::optional<Solution> best;
+  for (std::size_t k = 1; k <= m; ++k) {
+    // Latency budget left for computation once k serialized inputs are paid.
+    const double compute_budget = max_latency - static_cast<double>(k) * pipeline.data(0) / b - fixed;
+    double speed_floor = 0.0;
+    if (work > 0.0) {
+      if (compute_budget <= 0.0) break;  // larger k only shrinks the budget
+      // Tiny relaxation so a processor whose speed sits exactly on the floor
+      // is not excluded by one rounding ulp; the within_cap re-check below
+      // still rejects genuinely infeasible groups.
+      speed_floor = work / compute_budget * (1.0 - 1e-12);
+    } else if (compute_budget < 0.0 && !util::approx_equal(compute_budget, 0.0)) {
+      break;
+    }
+    auto group = most_reliable_at_least(platform, by_rel, speed_floor, k);
+    if (!group) continue;
+    Solution candidate = to_solution(pipeline, platform, std::move(*group));
+    // The speed floor guarantees feasibility, modulo rounding at the boundary.
+    if (!within_cap(candidate.latency, max_latency)) continue;
+    if (!best || better_min_fp(candidate, *best, max_latency)) best = std::move(candidate);
+  }
+  if (!best) {
+    return util::infeasible("no single-interval mapping meets latency threshold " +
+                            util::format_double(max_latency));
+  }
+  return *std::move(best);
+}
+
+Result single_interval_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                          const platform::Platform& platform,
+                                          double max_failure_probability) {
+  RELAP_ASSERT(platform.has_homogeneous_links(),
+               "the single-interval solver requires identical links");
+  const std::size_t m = platform.processor_count();
+  const std::vector<platform::ProcessorId> by_rel = platform.by_reliability();
+
+  // Candidate speed floors: the distinct processor speeds (the optimum's
+  // slowest member has one of these speeds), highest first.
+  std::vector<double> floors(platform.speeds().begin(), platform.speeds().end());
+  std::sort(floors.begin(), floors.end(), std::greater<>());
+  floors.erase(std::unique(floors.begin(), floors.end()), floors.end());
+
+  std::optional<Solution> best;
+  for (std::size_t k = 1; k <= m; ++k) {
+    // For fixed k the latency improves with a faster slowest member, so take
+    // the highest feasible floor; feasibility (product of the k most
+    // reliable fps above the floor <= FP) only improves as the floor drops,
+    // so the scan can stop at the first success.
+    for (const double floor : floors) {
+      auto group = most_reliable_at_least(platform, by_rel, floor, k);
+      if (!group) continue;
+      double product = 1.0;
+      for (const platform::ProcessorId u : *group) product *= platform.failure_prob(u);
+      if (!within_cap(product, max_failure_probability)) continue;
+      Solution candidate = to_solution(pipeline, platform, std::move(*group));
+      if (!best || better_min_latency(candidate, *best, max_failure_probability)) {
+        best = std::move(candidate);
+      }
+      break;
+    }
+  }
+  if (!best) {
+    return util::infeasible("no single-interval mapping meets failure threshold " +
+                            util::format_double(max_failure_probability));
+  }
+  return *std::move(best);
+}
+
+}  // namespace relap::algorithms

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file single_interval.hpp
+/// Exact bi-criteria optimization over *single-interval* mappings on
+/// identical-link platforms with arbitrary (heterogeneous) speeds and
+/// failure probabilities.
+///
+/// This covers the Communication Homogeneous / Failure Heterogeneous class,
+/// for which the paper leaves the general problem open (an optimal solution
+/// may need several intervals — Figure 5); restricting to one interval makes
+/// it polynomial, and the restriction is the natural strong baseline the
+/// heuristics must beat.
+///
+/// Key structure (our derivation, documented in DESIGN.md): for a single
+/// interval replicated on a set A, the latency |A| * delta_0 / b + W /
+/// min_{u in A} s_u + delta_n / b depends only on (|A|, min speed), and the
+/// failure probability prod_{u in A} fp_u is minimized, for fixed size k and
+/// speed floor s, by the k most reliable processors among {u : s_u >= s}.
+/// Enumerating k in [1, m] and the m candidate speed floors therefore finds
+/// the exact optimum in O(m^2 log m).
+
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+/// Minimum failure probability over single-interval mappings with latency
+/// <= L. Precondition: `platform.has_homogeneous_links()`.
+[[nodiscard]] Result single_interval_min_fp_for_latency(const pipeline::Pipeline& pipeline,
+                                                        const platform::Platform& platform,
+                                                        double max_latency);
+
+/// Minimum latency over single-interval mappings with failure probability
+/// <= FP. Precondition: `platform.has_homogeneous_links()`.
+[[nodiscard]] Result single_interval_min_latency_for_fp(const pipeline::Pipeline& pipeline,
+                                                        const platform::Platform& platform,
+                                                        double max_failure_probability);
+
+}  // namespace relap::algorithms

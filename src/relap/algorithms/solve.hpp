@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file solve.hpp
+/// The library facade: pick the right algorithm for the platform class.
+///
+/// Dispatch mirrors the paper's complexity landscape:
+///  * Fully Homogeneous (any failures)        -> Algorithms 1/2, exact;
+///  * Comm. Homogeneous + Failure Homogeneous -> Algorithms 3/4, exact;
+///  * Comm. Homogeneous + Failure Het.        -> open problem: exhaustive
+///    when the search space fits the budget, otherwise heuristics;
+///  * Fully Heterogeneous                     -> NP-hard (Theorem 7): same
+///    exhaustive-or-heuristic policy.
+///
+/// The report says which algorithm ran and whether the answer is certified
+/// optimal, so callers (and the benches) can tell exact answers from
+/// best-effort ones.
+
+#include <string>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/heuristics.hpp"
+#include "relap/algorithms/types.hpp"
+
+namespace relap::algorithms {
+
+enum class Method {
+  Auto,        ///< class-based dispatch described above
+  Exact,       ///< polynomial algorithm or exhaustive; error if intractable
+  Heuristic,   ///< always use the heuristic suite
+  Exhaustive,  ///< always use exhaustive enumeration (budget permitting)
+};
+
+struct SolveOptions {
+  Method method = Method::Auto;
+  /// Auto mode switches from exhaustive to heuristics above this many
+  /// candidate mappings (see exhaustive.hpp's interval_mapping_count).
+  std::uint64_t auto_exhaustive_budget = 2'000'000;
+  ExhaustiveOptions exhaustive;
+  HeuristicOptions heuristic;
+};
+
+struct SolveReport {
+  Solution solution;
+  /// Name of the algorithm that produced the solution (for logs/benches).
+  std::string algorithm;
+  /// True iff the answer is certified optimal.
+  bool exact = false;
+};
+
+/// Minimize FP subject to latency <= L.
+[[nodiscard]] util::Expected<SolveReport> solve_min_fp_for_latency(
+    const pipeline::Pipeline& pipeline, const platform::Platform& platform, double max_latency,
+    const SolveOptions& options = {});
+
+/// Minimize latency subject to FP <= F.
+[[nodiscard]] util::Expected<SolveReport> solve_min_latency_for_fp(
+    const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+    double max_failure_probability, const SolveOptions& options = {});
+
+}  // namespace relap::algorithms

@@ -1,0 +1,63 @@
+#include "relap/algorithms/types.hpp"
+
+#include "relap/util/stats.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::algorithms {
+
+std::string Solution::describe() const {
+  return mapping.describe() + "  latency=" + util::format_double(latency) +
+         " fp=" + util::format_double(failure_probability);
+}
+
+Solution evaluate(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                  mapping::IntervalMapping mapping) {
+  const double lat = mapping::latency(pipeline, platform, mapping);
+  const double fp = mapping::failure_probability(platform, mapping);
+  return Solution{std::move(mapping), lat, fp};
+}
+
+bool within_cap(double value, double cap) {
+  return value <= cap || util::approx_equal(value, cap);
+}
+
+namespace {
+
+/// Three-way helper: -1 if a better, +1 if b better, 0 if tied (tolerance).
+int compare_towards_smaller(double a, double b) {
+  if (util::approx_equal(a, b)) return 0;
+  return a < b ? -1 : 1;
+}
+
+}  // namespace
+
+bool better_min_fp(const Solution& a, const Solution& b, double latency_cap) {
+  const bool fa = within_cap(a.latency, latency_cap);
+  const bool fb = within_cap(b.latency, latency_cap);
+  if (fa != fb) return fa;
+  if (!fa) {
+    // Both infeasible: prefer the one closer to feasibility.
+    return compare_towards_smaller(a.latency, b.latency) < 0;
+  }
+  if (int c = compare_towards_smaller(a.failure_probability, b.failure_probability); c != 0) {
+    return c < 0;
+  }
+  if (int c = compare_towards_smaller(a.latency, b.latency); c != 0) return c < 0;
+  return a.mapping.processors_used() < b.mapping.processors_used();
+}
+
+bool better_min_latency(const Solution& a, const Solution& b, double fp_cap) {
+  const bool fa = within_cap(a.failure_probability, fp_cap);
+  const bool fb = within_cap(b.failure_probability, fp_cap);
+  if (fa != fb) return fa;
+  if (!fa) {
+    return compare_towards_smaller(a.failure_probability, b.failure_probability) < 0;
+  }
+  if (int c = compare_towards_smaller(a.latency, b.latency); c != 0) return c < 0;
+  if (int c = compare_towards_smaller(a.failure_probability, b.failure_probability); c != 0) {
+    return c < 0;
+  }
+  return a.mapping.processors_used() < b.mapping.processors_used();
+}
+
+}  // namespace relap::algorithms

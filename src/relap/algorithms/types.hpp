@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file types.hpp
+/// Shared result types and comparators for the optimization algorithms.
+///
+/// Every solver returns a `Solution` — a mapping together with its two
+/// objective values — wrapped in `Expected` because infeasibility (no mapping
+/// satisfies the threshold) is a normal outcome.
+///
+/// Threshold checks use a relative tolerance (`within_cap`): the paper's
+/// instances are exact rationals, but solvers compare sums of divisions, and
+/// an optimal solution sitting exactly on the threshold (e.g. Figure 5's
+/// latency-22 mapping with L = 22) must not be rejected over one ulp.
+
+#include <string>
+
+#include "relap/mapping/general_mapping.hpp"
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+#include "relap/util/expected.hpp"
+
+namespace relap::algorithms {
+
+/// An interval mapping with both objectives evaluated.
+struct Solution {
+  mapping::IntervalMapping mapping;
+  double latency = 0.0;
+  double failure_probability = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+using Result = util::Expected<Solution>;
+
+/// An unreplicated (general or one-to-one) mapping with its latency.
+struct GeneralSolution {
+  mapping::GeneralMapping mapping;
+  double latency = 0.0;
+};
+
+using GeneralResult = util::Expected<GeneralSolution>;
+
+/// Evaluates both criteria of `mapping` (latency via the platform-appropriate
+/// equation, failure probability via the product formula).
+[[nodiscard]] Solution evaluate(const pipeline::Pipeline& pipeline,
+                                const platform::Platform& platform,
+                                mapping::IntervalMapping mapping);
+
+/// True iff `value <= cap` up to relative tolerance — the feasibility test
+/// used by every constrained solver in the library.
+[[nodiscard]] bool within_cap(double value, double cap);
+
+/// Strict-preference comparator for "minimize FP subject to latency <= cap":
+/// feasible beats infeasible; among feasible, smaller FP wins, then smaller
+/// latency, then fewer processors (cheapest certificate).
+[[nodiscard]] bool better_min_fp(const Solution& a, const Solution& b, double latency_cap);
+
+/// Strict-preference comparator for "minimize latency subject to FP <= cap".
+[[nodiscard]] bool better_min_latency(const Solution& a, const Solution& b, double fp_cap);
+
+}  // namespace relap::algorithms

@@ -1,0 +1,51 @@
+#include "relap/gen/paper_instances.hpp"
+
+#include "relap/platform/builders.hpp"
+
+namespace relap::gen {
+
+pipeline::Pipeline fig3_pipeline() { return pipeline::Pipeline({2.0, 2.0}, {100.0, 100.0, 100.0}); }
+
+platform::Platform fig4_platform() {
+  platform::PlatformBuilder builder;
+  const platform::ProcessorId p1 = builder.add_processor(1.0, 0.1);
+  const platform::ProcessorId p2 = builder.add_processor(1.0, 0.1);
+  builder.default_bandwidth(1.0)
+      .link(p1, p2, 100.0)
+      .link_in(p1, 100.0)
+      .link_in(p2, 1.0)
+      .link_out(p1, 1.0)
+      .link_out(p2, 100.0);
+  return builder.build();
+}
+
+mapping::IntervalMapping fig4_single_mapping() {
+  return mapping::IntervalMapping::single_interval(2, {0});
+}
+
+mapping::IntervalMapping fig4_split_mapping() {
+  return mapping::IntervalMapping({{{0, 0}, {0}}, {{1, 1}, {1}}});
+}
+
+pipeline::Pipeline fig5_pipeline() { return pipeline::Pipeline({1.0, 100.0}, {10.0, 1.0, 0.0}); }
+
+platform::Platform fig5_platform() {
+  std::vector<double> speeds{1.0};
+  std::vector<double> fps{0.1};
+  for (int i = 0; i < 10; ++i) {
+    speeds.push_back(100.0);
+    fps.push_back(0.8);
+  }
+  return platform::make_comm_homogeneous(std::move(speeds), 1.0, std::move(fps));
+}
+
+mapping::IntervalMapping fig5_single_interval_mapping() {
+  return mapping::IntervalMapping::single_interval(2, {1, 2});
+}
+
+mapping::IntervalMapping fig5_two_interval_mapping() {
+  return mapping::IntervalMapping(
+      {{{0, 0}, {0}}, {{1, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}});
+}
+
+}  // namespace relap::gen

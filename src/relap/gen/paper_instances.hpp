@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file paper_instances.hpp
+/// The paper's worked examples, digit for digit.
+///
+/// * Figures 3 and 4 (Section 3): a 2-stage pipeline (w = 2, delta = 100
+///   everywhere) on a 2-processor Fully Heterogeneous platform where mapping
+///   both stages to one processor yields latency 105 but splitting across
+///   the two processors yields 7 — splitting can beat the single interval
+///   once links are heterogeneous.
+/// * Figure 5 (Section 3): a 2-stage pipeline (w = [1, 100], delta =
+///   [10, 1, 0]) on 1 slow reliable processor (s = 1, fp = 0.1) plus 10 fast
+///   unreliable ones (s = 100, fp = 0.8), identical unit links. Under
+///   latency threshold 22 the best single interval achieves FP = 0.64 while
+///   the two-interval mapping {slow on S1, 10-way replication of S2} reaches
+///   latency exactly 22 with FP = 1 - 0.9*(1 - 0.8^10) < 0.2.
+
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+
+namespace relap::gen {
+
+/// Figure 3: two stages, w_i = 2, delta_0 = delta_1 = delta_2 = 100.
+[[nodiscard]] pipeline::Pipeline fig3_pipeline();
+
+/// Figure 4: two unit-speed processors; b_{in,1} = b_{1,2} = b_{2,out} = 100,
+/// b_{in,2} = b_{1,out} = 1. (Failure probabilities are irrelevant to the
+/// example; set to 0.1.)
+[[nodiscard]] platform::Platform fig4_platform();
+
+/// The latency-105 mapping of the example: both stages on processor 0.
+[[nodiscard]] mapping::IntervalMapping fig4_single_mapping();
+
+/// The latency-7 mapping: stage 0 on processor 0, stage 1 on processor 1.
+[[nodiscard]] mapping::IntervalMapping fig4_split_mapping();
+
+/// Figure 5: two stages, w = [1, 100], delta = [10, 1, 0].
+[[nodiscard]] pipeline::Pipeline fig5_pipeline();
+
+/// Figure 5 platform: processor 0 slow/reliable (s=1, fp=0.1), processors
+/// 1..10 fast/unreliable (s=100, fp=0.8), all links b = 1.
+[[nodiscard]] platform::Platform fig5_platform();
+
+/// The paper's latency threshold for the Figure 5 discussion.
+[[nodiscard]] constexpr double fig5_latency_threshold() { return 22.0; }
+
+/// Best single-interval mapping under the threshold: two fast processors
+/// (FP = 0.64).
+[[nodiscard]] mapping::IntervalMapping fig5_single_interval_mapping();
+
+/// The two-interval optimum: slow processor on stage 0, all ten fast
+/// processors replicating stage 1 (latency 22, FP < 0.2).
+[[nodiscard]] mapping::IntervalMapping fig5_two_interval_mapping();
+
+}  // namespace relap::gen

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file pipelines.hpp
+/// Seeded random pipeline generators and fixed application presets used by
+/// tests, benches and examples. All generators are deterministic functions
+/// of their arguments (see util/rng.hpp for the portable stream).
+
+#include <cstdint>
+
+#include "relap/pipeline/pipeline.hpp"
+
+namespace relap::gen {
+
+/// Parameter ranges for random pipelines; values drawn uniformly.
+struct PipelineGenOptions {
+  std::size_t stages = 8;
+  double work_min = 1.0;
+  double work_max = 10.0;
+  double data_min = 1.0;
+  double data_max = 10.0;
+};
+
+[[nodiscard]] pipeline::Pipeline random_pipeline(const PipelineGenOptions& options,
+                                                 std::uint64_t seed);
+
+/// Balanced: work and data both in [1, 10].
+[[nodiscard]] pipeline::Pipeline random_uniform_pipeline(std::size_t stages, std::uint64_t seed);
+
+/// Compute-bound: work in [50, 100], data in [1, 5].
+[[nodiscard]] pipeline::Pipeline compute_heavy_pipeline(std::size_t stages, std::uint64_t seed);
+
+/// Communication-bound: work in [1, 5], data in [50, 100].
+[[nodiscard]] pipeline::Pipeline comm_heavy_pipeline(std::size_t stages, std::uint64_t seed);
+
+/// Bimodal: each stage is light (work ~ [1, 5]) or heavy (work ~ [80, 120])
+/// with equal probability — the shape that stresses interval splitting.
+[[nodiscard]] pipeline::Pipeline bimodal_pipeline(std::size_t stages, std::uint64_t seed);
+
+/// A 7-stage JPEG-encoder-like pipeline (color transform, subsample, block
+/// split, DCT, quantize, RLE/zigzag, entropy coding) with plausible relative
+/// costs. Synthetic: the companion report [3] the paper cites is not part of
+/// this paper, so these numbers are illustrative only (see DESIGN.md §4).
+[[nodiscard]] pipeline::Pipeline jpeg_like_pipeline();
+
+}  // namespace relap::gen

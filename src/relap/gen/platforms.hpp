@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file platforms.hpp
+/// Seeded random platform generators, one per class of the paper's taxonomy
+/// plus mixes that exercise the motivating examples' structure.
+
+#include <cstdint>
+
+#include "relap/platform/platform.hpp"
+
+namespace relap::gen {
+
+/// Parameter ranges for random platforms; values drawn uniformly.
+struct PlatformGenOptions {
+  std::size_t processors = 8;
+  double speed_min = 1.0;
+  double speed_max = 20.0;
+  double fp_min = 0.01;
+  double fp_max = 0.5;
+  double bandwidth_min = 1.0;
+  double bandwidth_max = 20.0;
+};
+
+/// Fully Homogeneous, Failure Homogeneous: one random speed/bandwidth/fp
+/// shared by everything.
+[[nodiscard]] platform::Platform random_fully_homogeneous(const PlatformGenOptions& options,
+                                                          std::uint64_t seed);
+
+/// Fully Homogeneous communications, heterogeneous failures.
+[[nodiscard]] platform::Platform random_fully_hom_het_failures(const PlatformGenOptions& options,
+                                                               std::uint64_t seed);
+
+/// Communication Homogeneous, Failure Homogeneous.
+[[nodiscard]] platform::Platform random_comm_homogeneous(const PlatformGenOptions& options,
+                                                         std::uint64_t seed);
+
+/// Communication Homogeneous, Failure Heterogeneous — the open class.
+[[nodiscard]] platform::Platform random_comm_hom_het_failures(const PlatformGenOptions& options,
+                                                              std::uint64_t seed);
+
+/// Fully Heterogeneous (independent link bandwidths), Failure Heterogeneous.
+[[nodiscard]] platform::Platform random_fully_heterogeneous(const PlatformGenOptions& options,
+                                                            std::uint64_t seed);
+
+/// Figure-5-shaped mix: `reliable` slow processors with small fp plus
+/// `unreliable` fast ones with large fp, identical links — the structure on
+/// which single-interval mappings are provably suboptimal.
+[[nodiscard]] platform::Platform random_reliable_unreliable_mix(std::size_t reliable,
+                                                                std::size_t unreliable,
+                                                                std::uint64_t seed);
+
+}  // namespace relap::gen

@@ -1,0 +1,57 @@
+#include "relap/io/csv.hpp"
+
+#include <fstream>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::io {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> columns) : columns_(columns.size()) {
+  RELAP_ASSERT(!columns.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    append_cell(columns[i], i == 0);
+  }
+  buffer_ += '\n';
+}
+
+void CsvWriter::append_cell(const std::string& cell, bool first) {
+  if (!first) buffer_ += ',';
+  buffer_ += csv_escape(cell);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  RELAP_ASSERT(cells.size() == columns_, "row width must match the declared columns");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    append_cell(cells[i], i == 0);
+  }
+  buffer_ += '\n';
+  ++rows_;
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(util::format_double(v));
+  add_row(formatted);
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << buffer_;
+  return static_cast<bool>(file);
+}
+
+}  // namespace relap::io

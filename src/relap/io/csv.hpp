@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for benches and examples: fixed column set declared
+/// up front, type-checked row length, RFC-4180-style quoting of text cells.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace relap::io {
+
+/// Accumulates a CSV table in memory; `str()` yields the document.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Adds a row of already-formatted cells. Precondition: one cell per column.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Adds a row of numeric cells formatted with format_double.
+  void add_numeric_row(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_; }
+  [[nodiscard]] const std::string& str() const { return buffer_; }
+
+  /// Writes the document to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  void append_cell(const std::string& cell, bool first);
+
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+  std::string buffer_;
+};
+
+/// Quotes a cell if it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace relap::io

@@ -1,0 +1,309 @@
+#include "relap/io/instance_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "relap/util/strings.hpp"
+
+namespace relap::io {
+
+namespace {
+
+/// A comment-stripped, trimmed line with its 1-based source position.
+struct Line {
+  int number;
+  std::string_view text;
+};
+
+std::vector<Line> significant_lines(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++number;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = util::trim(line);
+    if (!line.empty()) lines.push_back(Line{number, line});
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// Cursor over significant lines with one-token-lookahead helpers.
+class Reader {
+ public:
+  explicit Reader(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  [[nodiscard]] bool done() const { return index_ >= lines_.size(); }
+  [[nodiscard]] const Line& peek() const { return lines_[index_]; }
+  const Line& next() { return lines_[index_++]; }
+  [[nodiscard]] int last_line() const {
+    return lines_.empty() ? 0 : lines_[std::min(index_, lines_.size() - 1)].number;
+  }
+
+ private:
+  std::vector<Line> lines_;
+  std::size_t index_ = 0;
+};
+
+util::Expected<std::vector<double>> parse_value_line(const Line& line, std::string_view keyword,
+                                                     std::size_t expected_count) {
+  const std::vector<std::string_view> tokens = util::split_ws(line.text);
+  if (tokens.empty() || tokens.front() != keyword) {
+    return util::parse_error(line.number, "expected '" + std::string(keyword) + " ...'");
+  }
+  std::vector<double> values;
+  values.reserve(tokens.size() - 1);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::optional<double> v = util::parse_double(tokens[i]);
+    if (!v) {
+      return util::parse_error(line.number, "bad number '" + std::string(tokens[i]) + "'");
+    }
+    values.push_back(*v);
+  }
+  if (values.size() != expected_count) {
+    return util::parse_error(line.number, "expected " + std::to_string(expected_count) +
+                                              " values after '" + std::string(keyword) +
+                                              "', got " + std::to_string(values.size()));
+  }
+  return values;
+}
+
+util::Expected<std::size_t> parse_count_line(const Line& line, std::string_view keyword) {
+  const std::vector<std::string_view> tokens = util::split_ws(line.text);
+  if (tokens.size() != 2 || tokens.front() != keyword) {
+    return util::parse_error(line.number, "expected '" + std::string(keyword) + " <count>'");
+  }
+  const std::optional<std::size_t> count = util::parse_size(tokens[1]);
+  if (!count || *count == 0) {
+    return util::parse_error(line.number, "count must be a positive integer");
+  }
+  return *count;
+}
+
+}  // namespace
+
+util::Expected<Instance> parse_instance(std::string_view text) {
+  Reader reader(significant_lines(text));
+  if (reader.done() || reader.next().text != "relap-instance v1") {
+    return util::parse_error(1, "missing 'relap-instance v1' header");
+  }
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'pipeline' section");
+  auto stage_count = parse_count_line(reader.next(), "pipeline");
+  if (!stage_count) return stage_count.error();
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'work' line");
+  auto work = parse_value_line(reader.next(), "work", *stage_count);
+  if (!work) return work.error();
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'data' line");
+  auto data = parse_value_line(reader.next(), "data", *stage_count + 1);
+  if (!data) return data.error();
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'platform' section");
+  auto proc_count = parse_count_line(reader.next(), "platform");
+  if (!proc_count) return proc_count.error();
+  const std::size_t m = *proc_count;
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'speeds' line");
+  auto speeds = parse_value_line(reader.next(), "speeds", m);
+  if (!speeds) return speeds.error();
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'failures' line");
+  auto failures = parse_value_line(reader.next(), "failures", m);
+  if (!failures) return failures.error();
+
+  if (reader.done()) return util::parse_error(reader.last_line(), "missing 'links' line");
+  const Line links_line = reader.next();
+  const std::vector<std::string_view> link_tokens = util::split_ws(links_line.text);
+  if (link_tokens.empty() || link_tokens.front() != "links") {
+    return util::parse_error(links_line.number, "expected 'links uniform <b>' or 'links matrix'");
+  }
+
+  std::vector<std::vector<double>> link;
+  std::vector<double> in;
+  std::vector<double> out;
+  if (link_tokens.size() == 3 && link_tokens[1] == "uniform") {
+    const std::optional<double> b = util::parse_double(link_tokens[2]);
+    if (!b || *b <= 0.0) {
+      return util::parse_error(links_line.number, "uniform bandwidth must be positive");
+    }
+    link.assign(m, std::vector<double>(m, *b));
+    in.assign(m, *b);
+    out.assign(m, *b);
+  } else if (link_tokens.size() == 2 && link_tokens[1] == "matrix") {
+    for (std::size_t u = 0; u < m; ++u) {
+      if (reader.done()) return util::parse_error(reader.last_line(), "missing 'row' line");
+      auto row = parse_value_line(reader.next(), "row", m);
+      if (!row) return row.error();
+      std::vector<double> values = std::move(row).take();
+      // The diagonal entry is ignored by the model; normalize it so the
+      // Platform constructor's positivity check never sees it.
+      values[u] = 1.0;
+      link.push_back(std::move(values));
+    }
+    if (reader.done()) return util::parse_error(reader.last_line(), "missing 'in' line");
+    auto in_values = parse_value_line(reader.next(), "in", m);
+    if (!in_values) return in_values.error();
+    in = std::move(in_values).take();
+    if (reader.done()) return util::parse_error(reader.last_line(), "missing 'out' line");
+    auto out_values = parse_value_line(reader.next(), "out", m);
+    if (!out_values) return out_values.error();
+    out = std::move(out_values).take();
+  } else {
+    return util::parse_error(links_line.number, "expected 'links uniform <b>' or 'links matrix'");
+  }
+
+  if (!reader.done()) {
+    return util::parse_error(reader.peek().number, "unexpected trailing content");
+  }
+
+  // Semantic validation (positive speeds, fp in [0,1], ...) lives in the
+  // model constructors; translate contract violations into parse errors by
+  // pre-checking the few things RELAP_ASSERT would abort on.
+  for (const double s : *speeds) {
+    if (!(s > 0.0)) return util::parse_error(0, "speeds must be positive");
+  }
+  for (const double f : *failures) {
+    if (!(f >= 0.0 && f <= 1.0)) return util::parse_error(0, "failure probabilities must be in [0,1]");
+  }
+  for (const auto& row : link) {
+    for (const double b : row) {
+      if (!(b > 0.0)) return util::parse_error(0, "bandwidths must be positive");
+    }
+  }
+  for (const double b : in) {
+    if (!(b > 0.0)) return util::parse_error(0, "bandwidths must be positive");
+  }
+  for (const double b : out) {
+    if (!(b > 0.0)) return util::parse_error(0, "bandwidths must be positive");
+  }
+  for (const double w : *work) {
+    if (!(w >= 0.0)) return util::parse_error(0, "work must be non-negative");
+  }
+  for (const double d : *data) {
+    if (!(d >= 0.0)) return util::parse_error(0, "data sizes must be non-negative");
+  }
+
+  return Instance{pipeline::Pipeline(std::move(*work), std::move(*data)),
+                  platform::Platform(std::move(*speeds), std::move(*failures), std::move(link),
+                                     std::move(in), std::move(out))};
+}
+
+util::Expected<Instance> load_instance(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return util::make_error("io", "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_instance(buffer.str());
+}
+
+std::string format_instance(const Instance& instance) {
+  const pipeline::Pipeline& pipe = instance.pipeline;
+  const platform::Platform& plat = instance.platform;
+  const std::size_t m = plat.processor_count();
+
+  std::string text = "relap-instance v1\n";
+  text += "pipeline " + std::to_string(pipe.stage_count()) + '\n';
+  text += "work";
+  for (const double w : pipe.work_vector()) text += ' ' + util::format_double(w);
+  text += "\ndata";
+  for (const double d : pipe.data_vector()) text += ' ' + util::format_double(d);
+  text += "\nplatform " + std::to_string(m) + '\n';
+  text += "speeds";
+  for (const double s : plat.speeds()) text += ' ' + util::format_double(s);
+  text += "\nfailures";
+  for (const double f : plat.failure_probs()) text += ' ' + util::format_double(f);
+  text += '\n';
+
+  if (plat.has_homogeneous_links()) {
+    text += "links uniform " + util::format_double(plat.common_bandwidth()) + '\n';
+  } else {
+    text += "links matrix\n";
+    for (std::size_t u = 0; u < m; ++u) {
+      text += "row";
+      for (std::size_t v = 0; v < m; ++v) {
+        text += ' ' + util::format_double(u == v ? 1.0 : plat.bandwidth(u, v));
+      }
+      text += '\n';
+    }
+    text += "in";
+    for (std::size_t u = 0; u < m; ++u) text += ' ' + util::format_double(plat.bandwidth_in(u));
+    text += "\nout";
+    for (std::size_t u = 0; u < m; ++u) text += ' ' + util::format_double(plat.bandwidth_out(u));
+    text += '\n';
+  }
+  return text;
+}
+
+util::Expected<bool> save_instance(const Instance& instance, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return util::make_error("io", "cannot open '" + path + "' for writing");
+  file << format_instance(instance);
+  if (!file) return util::make_error("io", "write to '" + path + "' failed");
+  return true;
+}
+
+util::Expected<mapping::IntervalMapping> parse_mapping(std::string_view text) {
+  std::vector<mapping::IntervalAssignment> intervals;
+  for (const std::string_view token : util::split_ws(text)) {
+    // Token shape: [a..b]->{x,y,z}
+    const std::size_t dots = token.find("..");
+    const std::size_t close = token.find("]->{");
+    if (token.empty() || token.front() != '[' || token.back() != '}' ||
+        dots == std::string_view::npos || close == std::string_view::npos || dots > close) {
+      return util::parse_error(0, "bad interval token '" + std::string(token) + "'");
+    }
+    const std::optional<std::size_t> first = util::parse_size(token.substr(1, dots - 1));
+    const std::optional<std::size_t> last =
+        util::parse_size(token.substr(dots + 2, close - dots - 2));
+    if (!first || !last || *first > *last) {
+      return util::parse_error(0, "bad interval bounds in '" + std::string(token) + "'");
+    }
+    std::vector<platform::ProcessorId> processors;
+    const std::string_view group = token.substr(close + 4, token.size() - close - 5);
+    for (const std::string_view id_token : util::split(group, ',')) {
+      const std::optional<std::size_t> id = util::parse_size(util::trim(id_token));
+      if (!id) return util::parse_error(0, "bad processor id in '" + std::string(token) + "'");
+      processors.push_back(*id);
+    }
+    if (processors.empty()) {
+      return util::parse_error(0, "empty replica group in '" + std::string(token) + "'");
+    }
+    intervals.push_back(mapping::IntervalAssignment{{*first, *last}, std::move(processors)});
+  }
+  if (intervals.empty()) return util::parse_error(0, "empty mapping");
+  // Re-validate the structural invariants the constructor asserts, as parse
+  // errors rather than aborts.
+  if (intervals.front().stages.first != 0) {
+    return util::parse_error(0, "first interval must start at stage 0");
+  }
+  for (std::size_t j = 1; j < intervals.size(); ++j) {
+    if (intervals[j].stages.first != intervals[j - 1].stages.last + 1) {
+      return util::parse_error(0, "intervals must be consecutive");
+    }
+  }
+  std::vector<platform::ProcessorId> all;
+  for (const auto& a : intervals) {
+    for (const platform::ProcessorId u : a.processors) all.push_back(u);
+  }
+  std::sort(all.begin(), all.end());
+  if (std::adjacent_find(all.begin(), all.end()) != all.end()) {
+    return util::parse_error(0, "replica groups must be disjoint");
+  }
+  return mapping::IntervalMapping(std::move(intervals));
+}
+
+std::string format_mapping(const mapping::IntervalMapping& mapping) { return mapping.describe(); }
+
+}  // namespace relap::io

@@ -1,0 +1,50 @@
+#include "relap/mapping/general_mapping.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::mapping {
+
+GeneralMapping::GeneralMapping(std::vector<platform::ProcessorId> assignment)
+    : assignment_(std::move(assignment)) {
+  RELAP_ASSERT(!assignment_.empty(), "a general mapping needs at least one stage");
+}
+
+platform::ProcessorId GeneralMapping::processor_of(std::size_t stage) const {
+  RELAP_ASSERT(stage < assignment_.size(), "stage index out of range");
+  return assignment_[stage];
+}
+
+bool GeneralMapping::is_one_to_one() const {
+  std::unordered_set<platform::ProcessorId> seen;
+  for (const platform::ProcessorId u : assignment_) {
+    if (!seen.insert(u).second) return false;
+  }
+  return true;
+}
+
+bool GeneralMapping::is_interval_based() const {
+  // A processor's stages form a consecutive run iff the processor never
+  // reappears after a different processor has taken over.
+  std::unordered_set<platform::ProcessorId> retired;
+  for (std::size_t k = 0; k < assignment_.size(); ++k) {
+    if (k > 0 && assignment_[k] != assignment_[k - 1]) {
+      retired.insert(assignment_[k - 1]);
+      if (retired.contains(assignment_[k])) return false;
+    }
+  }
+  return true;
+}
+
+std::string GeneralMapping::describe() const {
+  std::string out;
+  for (std::size_t k = 0; k < assignment_.size(); ++k) {
+    if (k > 0) out += ' ';
+    out += 'S' + std::to_string(k) + "->P" + std::to_string(assignment_[k]);
+  }
+  return out;
+}
+
+}  // namespace relap::mapping

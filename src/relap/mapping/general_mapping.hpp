@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file general_mapping.hpp
+/// General (non-interval) and one-to-one mappings, used by Theorems 3 and 4.
+///
+/// A *general mapping* assigns every stage to one processor, with no
+/// replication and no interval constraint: the same processor may execute
+/// non-consecutive stages (paper Section 4.1, Theorem 4). A *one-to-one
+/// mapping* is the restriction where all assigned processors are distinct
+/// (Theorem 3; requires n <= m).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relap/platform/platform.hpp"
+
+namespace relap::mapping {
+
+/// Stage -> processor assignment, one entry per stage, no replication.
+class GeneralMapping {
+ public:
+  /// `assignment[k]` is the processor executing stage k.
+  explicit GeneralMapping(std::vector<platform::ProcessorId> assignment);
+
+  [[nodiscard]] std::size_t stage_count() const { return assignment_.size(); }
+  [[nodiscard]] platform::ProcessorId processor_of(std::size_t stage) const;
+  [[nodiscard]] const std::vector<platform::ProcessorId>& assignment() const {
+    return assignment_;
+  }
+
+  /// True iff all assigned processors are pairwise distinct.
+  [[nodiscard]] bool is_one_to_one() const;
+
+  /// True iff every processor's set of stages is a consecutive run, i.e. the
+  /// mapping is expressible as an interval mapping without replication.
+  [[nodiscard]] bool is_interval_based() const;
+
+  /// Human-readable "S0->P2 S1->P2 S2->P0" form.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const GeneralMapping&, const GeneralMapping&) = default;
+
+ private:
+  std::vector<platform::ProcessorId> assignment_;
+};
+
+}  // namespace relap::mapping

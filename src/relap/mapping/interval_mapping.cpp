@@ -1,0 +1,82 @@
+#include "relap/mapping/interval_mapping.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::mapping {
+
+IntervalMapping::IntervalMapping(std::vector<IntervalAssignment> intervals)
+    : intervals_(std::move(intervals)) {
+  RELAP_ASSERT(!intervals_.empty(), "an interval mapping needs at least one interval");
+  RELAP_ASSERT(intervals_.front().stages.first == 0, "first interval must start at stage 0");
+  std::unordered_set<platform::ProcessorId> seen;
+  for (std::size_t j = 0; j < intervals_.size(); ++j) {
+    IntervalAssignment& a = intervals_[j];
+    RELAP_ASSERT(a.stages.first <= a.stages.last, "interval bounds must satisfy first <= last");
+    if (j > 0) {
+      RELAP_ASSERT(a.stages.first == intervals_[j - 1].stages.last + 1,
+                   "intervals must be consecutive");
+    }
+    RELAP_ASSERT(!a.processors.empty(), "every interval needs a non-empty replica group");
+    std::sort(a.processors.begin(), a.processors.end());
+    for (std::size_t i = 1; i < a.processors.size(); ++i) {
+      RELAP_ASSERT(a.processors[i - 1] != a.processors[i],
+                   "replica group contains a duplicate processor");
+    }
+    for (const platform::ProcessorId u : a.processors) {
+      RELAP_ASSERT(seen.insert(u).second, "replica groups of distinct intervals must be disjoint");
+    }
+  }
+}
+
+IntervalMapping IntervalMapping::single_interval(std::size_t stage_count,
+                                                 std::vector<platform::ProcessorId> processors) {
+  RELAP_ASSERT(stage_count >= 1, "pipeline needs at least one stage");
+  return IntervalMapping({IntervalAssignment{{0, stage_count - 1}, std::move(processors)}});
+}
+
+IntervalMapping IntervalMapping::from_composition(
+    std::span<const std::size_t> lengths,
+    std::vector<std::vector<platform::ProcessorId>> groups) {
+  RELAP_ASSERT(lengths.size() == groups.size(), "need one replica group per interval length");
+  std::vector<IntervalAssignment> intervals;
+  intervals.reserve(lengths.size());
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < lengths.size(); ++j) {
+    RELAP_ASSERT(lengths[j] >= 1, "interval lengths must be positive");
+    intervals.push_back(IntervalAssignment{{next, next + lengths[j] - 1}, std::move(groups[j])});
+    next += lengths[j];
+  }
+  return IntervalMapping(std::move(intervals));
+}
+
+const IntervalAssignment& IntervalMapping::interval(std::size_t j) const {
+  RELAP_ASSERT(j < intervals_.size(), "interval index out of range");
+  return intervals_[j];
+}
+
+std::size_t IntervalMapping::processors_used() const {
+  std::size_t total = 0;
+  for (const IntervalAssignment& a : intervals_) total += a.processors.size();
+  return total;
+}
+
+std::string IntervalMapping::describe() const {
+  std::string out;
+  for (std::size_t j = 0; j < intervals_.size(); ++j) {
+    if (j > 0) out += ' ';
+    const IntervalAssignment& a = intervals_[j];
+    out += '[' + std::to_string(a.stages.first) + ".." + std::to_string(a.stages.last) + "]->{";
+    for (std::size_t i = 0; i < a.processors.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(a.processors[i]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace relap::mapping

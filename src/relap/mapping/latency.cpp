@@ -1,0 +1,115 @@
+#include "relap/mapping/latency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::mapping {
+
+namespace {
+
+/// Smallest speed within a replica group (the paper's min_{u in alloc(j)} s_u).
+double min_speed(const platform::Platform& platform,
+                 const std::vector<platform::ProcessorId>& group) {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const platform::ProcessorId u : group) lo = std::min(lo, platform.speed(u));
+  return lo;
+}
+
+}  // namespace
+
+double latency_eq1(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                   const IntervalMapping& mapping) {
+  RELAP_ASSERT(platform.has_homogeneous_links(),
+               "equation (1) applies to identical-link platforms only");
+  RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
+               "mapping does not cover the pipeline");
+  const double b = platform.common_bandwidth();
+  util::KahanSum total;
+  for (const IntervalAssignment& a : mapping.intervals()) {
+    const double k = static_cast<double>(a.processors.size());
+    total.add(k * pipeline.data(a.stages.first) / b);
+    total.add(pipeline.work_sum(a.stages.first, a.stages.last) / min_speed(platform, a.processors));
+  }
+  total.add(pipeline.data(pipeline.stage_count()) / b);
+  return total.value();
+}
+
+double latency_eq2(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                   const IntervalMapping& mapping) {
+  RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
+               "mapping does not cover the pipeline");
+  util::KahanSum total;
+
+  // Serialized initial transfers: P_in sends delta_0 to every replica of the
+  // first interval (one-port model).
+  for (const platform::ProcessorId u : mapping.interval(0).processors) {
+    total.add(pipeline.data(0) / platform.bandwidth_in(u));
+  }
+
+  const std::size_t p = mapping.interval_count();
+  for (std::size_t j = 0; j < p; ++j) {
+    const IntervalAssignment& a = mapping.interval(j);
+    const double work = pipeline.work_sum(a.stages.first, a.stages.last);
+    const double out_size = pipeline.data(a.stages.last + 1);
+    double worst = 0.0;
+    for (const platform::ProcessorId u : a.processors) {
+      double term = work / platform.speed(u);
+      if (j + 1 < p) {
+        // Serialized sends to every replica of the next interval.
+        for (const platform::ProcessorId v : mapping.interval(j + 1).processors) {
+          term += out_size / platform.bandwidth(u, v);
+        }
+      } else {
+        term += out_size / platform.bandwidth_out(u);
+      }
+      worst = std::max(worst, term);
+    }
+    total.add(worst);
+  }
+  return total.value();
+}
+
+double latency(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+               const IntervalMapping& mapping) {
+  return platform.has_homogeneous_links() ? latency_eq1(pipeline, platform, mapping)
+                                          : latency_eq2(pipeline, platform, mapping);
+}
+
+double latency(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+               const GeneralMapping& mapping) {
+  RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
+               "mapping does not cover the pipeline");
+  const std::size_t n = pipeline.stage_count();
+  util::KahanSum total;
+  total.add(pipeline.data(0) / platform.bandwidth_in(mapping.processor_of(0)));
+  for (std::size_t k = 0; k < n; ++k) {
+    const platform::ProcessorId u = mapping.processor_of(k);
+    total.add(pipeline.work(k) / platform.speed(u));
+    if (k + 1 < n) {
+      const platform::ProcessorId v = mapping.processor_of(k + 1);
+      if (u != v) total.add(pipeline.data(k + 1) / platform.bandwidth(u, v));
+    }
+  }
+  total.add(pipeline.data(n) / platform.bandwidth_out(mapping.processor_of(n - 1)));
+  return total.value();
+}
+
+double latency_lower_bound(const pipeline::Pipeline& pipeline,
+                           const platform::Platform& platform) {
+  const std::size_t m = platform.processor_count();
+  double best_speed = 0.0;
+  double best_in = 0.0;
+  double best_out = 0.0;
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    best_speed = std::max(best_speed, platform.speed(u));
+    best_in = std::max(best_in, platform.bandwidth_in(u));
+    best_out = std::max(best_out, platform.bandwidth_out(u));
+  }
+  return pipeline.data(0) / best_in + pipeline.total_work() / best_speed +
+         pipeline.data(pipeline.stage_count()) / best_out;
+}
+
+}  // namespace relap::mapping

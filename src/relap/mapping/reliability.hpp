@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file reliability.hpp
+/// Failure-probability evaluation (paper Section 2.2).
+///
+/// The application executes successfully iff, for every interval, at least
+/// one replica survives. Processor failures are independent, so:
+///
+///   FP(mapping) = 1 - prod_j ( 1 - prod_{u in alloc(j)} fp_u ).
+///
+/// For heavily replicated mappings, prod fp_u underflows harmlessly to 0;
+/// the dual problem — distinguishing survival probabilities extremely close
+/// to 1 — is the numerically delicate one, so a log-domain evaluator of
+/// log(1 - FP) built on log1p is provided for tests and tie-breaking.
+
+#include <vector>
+
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/platform/platform.hpp"
+
+namespace relap::mapping {
+
+/// Probability that *all* processors of `group` fail: prod fp_u.
+[[nodiscard]] double group_failure_probability(const platform::Platform& platform,
+                                               const std::vector<platform::ProcessorId>& group);
+
+/// Global failure probability FP of an interval mapping, in [0, 1].
+[[nodiscard]] double failure_probability(const platform::Platform& platform,
+                                         const IntervalMapping& mapping);
+
+/// log(1 - FP) = sum_j log1p(-prod_{u in alloc(j)} fp_u), computed without
+/// forming 1 - FP. More negative means less reliable; 0 means certain
+/// success. Returns -infinity when some interval is certain to fail
+/// (all its replicas have fp_u = 1).
+[[nodiscard]] double log_survival_probability(const platform::Platform& platform,
+                                              const IntervalMapping& mapping);
+
+/// Failure probability of the degenerate "no replication anywhere" bound:
+/// the minimum achievable FP on this platform, reached by replicating a
+/// single interval on all m processors (Theorem 1).
+[[nodiscard]] double min_achievable_failure_probability(const platform::Platform& platform);
+
+}  // namespace relap::mapping

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file validate.hpp
+/// Instance-compatibility validation for mappings.
+///
+/// Structural invariants (consecutive intervals, disjoint non-empty groups)
+/// are enforced by the mapping constructors as programming contracts. This
+/// module checks the *runtime* conditions that depend on a concrete pipeline
+/// and platform — stage counts matching, processor ids in range, one-to-one
+/// feasibility — and reports failures as `Expected` errors, because mappings
+/// read from instance files or produced by external tools are ordinary
+/// untrusted input.
+
+#include "relap/mapping/general_mapping.hpp"
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+#include "relap/util/expected.hpp"
+
+namespace relap::mapping {
+
+/// Marker for successful validation.
+struct Valid {};
+
+/// Checks that `mapping` covers exactly the pipeline's stages and only names
+/// processors of `platform`.
+[[nodiscard]] util::Expected<Valid> validate(const pipeline::Pipeline& pipeline,
+                                             const platform::Platform& platform,
+                                             const IntervalMapping& mapping);
+
+/// Same for general mappings.
+[[nodiscard]] util::Expected<Valid> validate(const pipeline::Pipeline& pipeline,
+                                             const platform::Platform& platform,
+                                             const GeneralMapping& mapping);
+
+/// `validate` plus the one-to-one restriction of Theorem 3: all stages on
+/// pairwise distinct processors (requires n <= m).
+[[nodiscard]] util::Expected<Valid> validate_one_to_one(const pipeline::Pipeline& pipeline,
+                                                        const platform::Platform& platform,
+                                                        const GeneralMapping& mapping);
+
+}  // namespace relap::mapping

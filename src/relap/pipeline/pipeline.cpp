@@ -1,0 +1,70 @@
+#include "relap/pipeline/pipeline.hpp"
+
+#include <cmath>
+
+#include "relap/util/assert.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::pipeline {
+
+namespace {
+
+void check_finite_non_negative(std::span<const double> values, const char* what) {
+  for (const double v : values) {
+    RELAP_ASSERT(std::isfinite(v), what);
+    RELAP_ASSERT(v >= 0.0, what);
+  }
+}
+
+}  // namespace
+
+Pipeline::Pipeline(std::vector<double> work, std::vector<double> data)
+    : work_(std::move(work)), data_(std::move(data)) {
+  RELAP_ASSERT(!work_.empty(), "pipeline needs at least one stage");
+  RELAP_ASSERT(data_.size() == work_.size() + 1,
+               "need exactly n+1 data sizes delta_0..delta_n for n stages");
+  check_finite_non_negative(work_, "stage work must be finite and >= 0");
+  check_finite_non_negative(data_, "data sizes must be finite and >= 0");
+  work_prefix_.resize(work_.size() + 1, 0.0);
+  for (std::size_t k = 0; k < work_.size(); ++k) {
+    work_prefix_[k + 1] = work_prefix_[k] + work_[k];
+  }
+}
+
+double Pipeline::work(std::size_t stage) const {
+  RELAP_ASSERT(stage < work_.size(), "stage index out of range");
+  return work_[stage];
+}
+
+double Pipeline::data(std::size_t boundary) const {
+  RELAP_ASSERT(boundary < data_.size(), "data boundary index out of range");
+  return data_[boundary];
+}
+
+double Pipeline::work_sum(std::size_t first, std::size_t last) const {
+  RELAP_ASSERT(first <= last, "work_sum requires first <= last");
+  RELAP_ASSERT(last < work_.size(), "work_sum range out of bounds");
+  return work_prefix_[last + 1] - work_prefix_[first];
+}
+
+Pipeline Pipeline::uniform(std::size_t n, double w, double delta) {
+  RELAP_ASSERT(n >= 1, "pipeline needs at least one stage");
+  return Pipeline(std::vector<double>(n, w), std::vector<double>(n + 1, delta));
+}
+
+std::string Pipeline::describe() const {
+  std::string out = "pipeline n=" + std::to_string(stage_count()) + " w=[";
+  for (std::size_t k = 0; k < work_.size(); ++k) {
+    if (k > 0) out += ' ';
+    out += util::format_double(work_[k]);
+  }
+  out += "] delta=[";
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    if (k > 0) out += ' ';
+    out += util::format_double(data_[k]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace relap::pipeline

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file builders.hpp
+/// Convenience constructors for the three platform classes of the paper,
+/// plus a fluent `PlatformBuilder` for fully heterogeneous instances.
+///
+/// The raw `Platform` constructor takes the complete bandwidth matrix; these
+/// helpers build the common special cases without boilerplate and guarantee
+/// the resulting object classifies as intended.
+
+#include <vector>
+
+#include "relap/platform/platform.hpp"
+
+namespace relap::platform {
+
+/// Fully Homogeneous platform: m processors of speed `s`, all links
+/// (inter-processor and in/out) of bandwidth `b`, all failure probabilities
+/// `fp`.
+[[nodiscard]] Platform make_fully_homogeneous(std::size_t m, double s, double b, double fp);
+
+/// Fully Homogeneous communication but heterogeneous failures: identical
+/// speed `s` and links `b`, per-processor failure probabilities.
+[[nodiscard]] Platform make_fully_homogeneous_het_failures(double s, double b,
+                                                           std::vector<double> failure_probs);
+
+/// Communication Homogeneous platform: per-processor speeds, common link
+/// bandwidth `b`, common failure probability `fp`.
+[[nodiscard]] Platform make_comm_homogeneous(std::vector<double> speeds, double b, double fp);
+
+/// Communication Homogeneous platform with heterogeneous failures.
+[[nodiscard]] Platform make_comm_homogeneous(std::vector<double> speeds, double b,
+                                             std::vector<double> failure_probs);
+
+/// Incremental construction of Fully Heterogeneous platforms. All bandwidths
+/// default to `default_bandwidth` (1.0 unless overridden); individual links
+/// are then overridden link by link. Symmetric by default: `link(u, v, b)`
+/// sets both directions unless `directed` is requested.
+class PlatformBuilder {
+ public:
+  /// Adds a processor; returns its id (assigned sequentially from 0).
+  ProcessorId add_processor(double speed, double failure_prob);
+
+  /// Sets the default bandwidth used for every link not explicitly set.
+  PlatformBuilder& default_bandwidth(double b);
+
+  /// Sets the bandwidth of the link between u and v (both directions).
+  PlatformBuilder& link(ProcessorId u, ProcessorId v, double b);
+
+  /// Sets the bandwidth of the directed link u -> v only.
+  PlatformBuilder& directed_link(ProcessorId u, ProcessorId v, double b);
+
+  /// Sets the bandwidth of the link P_in -> u.
+  PlatformBuilder& link_in(ProcessorId u, double b);
+
+  /// Sets the bandwidth of the link u -> P_out.
+  PlatformBuilder& link_out(ProcessorId u, double b);
+
+  /// Materializes the platform. Precondition: at least one processor added.
+  [[nodiscard]] Platform build() const;
+
+ private:
+  struct LinkOverride {
+    ProcessorId u;
+    ProcessorId v;
+    double bandwidth;
+  };
+
+  std::vector<double> speeds_;
+  std::vector<double> failure_probs_;
+  std::vector<LinkOverride> links_;
+  std::vector<LinkOverride> in_links_;   // u unused
+  std::vector<LinkOverride> out_links_;  // v unused
+  double default_bandwidth_ = 1.0;
+};
+
+}  // namespace relap::platform

@@ -1,0 +1,90 @@
+#include "relap/reductions/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::reductions {
+
+std::uint64_t PartitionInstance::sum() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : values) total += v;
+  return total;
+}
+
+PartitionReduction partition_to_bicriteria(const PartitionInstance& instance) {
+  const std::size_t m = instance.values.size();
+  RELAP_ASSERT(m >= 1, "2-PARTITION needs at least one value");
+  for (const std::uint64_t v : instance.values) {
+    RELAP_ASSERT(v >= 1, "2-PARTITION values must be positive");
+  }
+
+  pipeline::Pipeline pipe({1.0}, {1.0, 1.0});
+
+  std::vector<double> failure_probs(m);
+  std::vector<double> in(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto a = static_cast<double>(instance.values[j]);
+    failure_probs[j] = std::exp(-a);
+    in[j] = 1.0 / a;
+  }
+  // Inter-processor links are irrelevant for a single-stage pipeline; unit
+  // bandwidth keeps the platform well-formed.
+  std::vector<std::vector<double>> link(m, std::vector<double>(m, 1.0));
+  platform::Platform plat(std::vector<double>(m, 1.0), std::move(failure_probs), std::move(link),
+                          std::move(in), std::vector<double>(m, 1.0));
+
+  const double half = static_cast<double>(instance.sum()) / 2.0;
+  return PartitionReduction{std::move(pipe), std::move(plat), half + 2.0, std::exp(-half)};
+}
+
+bool has_equal_partition(const PartitionInstance& instance) {
+  return !equal_partition_witness(instance).empty() ||
+         (instance.sum() == 0);  // degenerate; sum()==0 cannot happen with positive values
+}
+
+std::vector<std::size_t> equal_partition_witness(const PartitionInstance& instance) {
+  const std::uint64_t total = instance.sum();
+  if (total % 2 != 0) return {};
+  const std::uint64_t target = total / 2;
+
+  // reachable[s] = index of the last value used to first reach sum s, or -1.
+  constexpr std::size_t kUnreached = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_used(target + 1, kUnreached);
+  std::vector<std::uint64_t> reached_order;  // sums in discovery order, for DP sweep
+  last_used[0] = instance.values.size();     // sentinel "no value"
+
+  for (std::size_t i = 0; i < instance.values.size(); ++i) {
+    const std::uint64_t v = instance.values[i];
+    if (v > target) continue;
+    // Classic 0/1 subset-sum sweep, descending so each value is used once.
+    for (std::uint64_t s = target; s >= v; --s) {
+      if (last_used[s] == kUnreached && last_used[s - v] != kUnreached &&
+          last_used[s - v] != i) {
+        last_used[s] = i;
+      }
+      if (s == v) break;  // avoid unsigned underflow in the loop condition
+    }
+  }
+  if (last_used[target] == kUnreached) return {};
+
+  std::vector<std::size_t> witness;
+  std::uint64_t s = target;
+  while (s > 0) {
+    const std::size_t i = last_used[s];
+    RELAP_ASSERT(i < instance.values.size(), "subset-sum reconstruction out of range");
+    witness.push_back(i);
+    s -= instance.values[i];
+  }
+  std::reverse(witness.begin(), witness.end());
+  return witness;
+}
+
+std::vector<std::size_t> mapping_to_subset(const mapping::IntervalMapping& mapping) {
+  RELAP_ASSERT(mapping.interval_count() == 1,
+               "the reduced instance has one stage, so one interval");
+  return mapping.interval(0).processors;
+}
+
+}  // namespace relap::reductions

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file partition.hpp
+/// Executable form of Theorem 7: the bi-criteria decision problem on Fully
+/// Heterogeneous platforms is NP-hard, by reduction from 2-PARTITION.
+///
+/// The construction (paper Section 4.5): given positive integers a_1..a_m
+/// with sum S, build a single-stage pipeline (w = 1, delta_0 = delta_1 = 1)
+/// and m unit-speed processors with fp_j = exp(-a_j), b_{in,j} = 1/a_j and
+/// b_{j,out} = 1. A replication set I then has latency sum_{j in I} a_j + 2
+/// and failure probability exp(-sum_{j in I} a_j), so thresholds
+/// L = S/2 + 2 and FP = exp(-S/2) squeeze sum_{j in I} a_j to exactly S/2:
+/// the instance is feasible iff the integers admit an equal partition.
+///
+/// A pseudo-polynomial subset-sum solver for the source problem lets tests
+/// verify both directions.
+
+#include <cstdint>
+#include <vector>
+
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+
+namespace relap::reductions {
+
+/// A 2-PARTITION instance: positive integers.
+struct PartitionInstance {
+  std::vector<std::uint64_t> values;
+
+  [[nodiscard]] std::uint64_t sum() const;
+};
+
+/// The reduced bi-criteria decision instance of Theorem 7.
+struct PartitionReduction {
+  pipeline::Pipeline pipeline;
+  platform::Platform platform;
+  double latency_threshold;  ///< S/2 + 2
+  double fp_threshold;       ///< exp(-S/2)
+};
+
+/// Builds the reduced instance. Precondition: non-empty positive values.
+[[nodiscard]] PartitionReduction partition_to_bicriteria(const PartitionInstance& instance);
+
+/// Pseudo-polynomial (O(m * S)) solver: does a subset summing to S/2 exist?
+/// False outright when S is odd.
+[[nodiscard]] bool has_equal_partition(const PartitionInstance& instance);
+
+/// A witness subset summing to S/2 (indices into `values`), or empty when
+/// none exists.
+[[nodiscard]] std::vector<std::size_t> equal_partition_witness(const PartitionInstance& instance);
+
+/// Interprets a single-interval mapping of the reduced instance as the
+/// chosen subset I (processor ids = value indices).
+[[nodiscard]] std::vector<std::size_t> mapping_to_subset(const mapping::IntervalMapping& mapping);
+
+}  // namespace relap::reductions

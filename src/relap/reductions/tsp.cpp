@@ -1,0 +1,125 @@
+#include "relap/reductions/tsp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::reductions {
+
+TspReduction tsp_to_one_to_one(const TspInstance& instance) {
+  const std::size_t n = instance.vertex_count();
+  RELAP_ASSERT(n >= 2, "TSP reduction needs at least two vertices");
+  RELAP_ASSERT(instance.source < n && instance.tail < n && instance.source != instance.tail,
+               "source and tail must be distinct vertices");
+  for (std::size_t i = 0; i < n; ++i) {
+    RELAP_ASSERT(instance.cost[i].size() == n, "cost matrix must be square");
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        RELAP_ASSERT(std::isfinite(instance.cost[i][j]) && instance.cost[i][j] > 0.0,
+                     "edge costs must be positive and finite");
+      }
+    }
+  }
+
+  // Unit application: w_i = delta_i = 1 everywhere.
+  pipeline::Pipeline pipe(std::vector<double>(n, 1.0), std::vector<double>(n + 1, 1.0));
+
+  // "Very slow" links must cost more than K + n + 3 so that any mapping that
+  // uses one immediately exceeds the threshold K' = K + n + 2.
+  const double slow_bandwidth =
+      1.0 / (instance.bound + static_cast<double>(n) + 4.0);
+
+  std::vector<std::vector<double>> link(n, std::vector<double>(n, slow_bandwidth));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) link[i][j] = 1.0 / instance.cost[i][j];
+    }
+  }
+  std::vector<double> in(n, slow_bandwidth);
+  std::vector<double> out(n, slow_bandwidth);
+  in[instance.source] = 1.0;
+  out[instance.tail] = 1.0;
+
+  platform::Platform plat(std::vector<double>(n, 1.0), std::vector<double>(n, 0.0),
+                          std::move(link), std::move(in), std::move(out));
+  const double threshold = instance.bound + static_cast<double>(n) + 2.0;
+  return TspReduction{std::move(pipe), std::move(plat), threshold};
+}
+
+double path_cost(const TspInstance& instance, const std::vector<std::size_t>& path) {
+  const std::size_t n = instance.vertex_count();
+  RELAP_ASSERT(path.size() == n, "path must visit every vertex exactly once");
+  RELAP_ASSERT(path.front() == instance.source && path.back() == instance.tail,
+               "path must start at the source and end at the tail");
+  std::vector<bool> seen(n, false);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    RELAP_ASSERT(!seen[path[i]], "path must visit every vertex exactly once");
+    seen[path[i]] = true;
+    if (i + 1 < n) total += instance.cost[path[i]][path[i + 1]];
+  }
+  return total;
+}
+
+util::Expected<std::vector<std::size_t>> held_karp_path(const TspInstance& instance) {
+  const std::size_t n = instance.vertex_count();
+  if (n > 20) {
+    return util::budget_exceeded("Held-Karp beyond 20 vertices does not fit in memory");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t mask_count = std::size_t{1} << n;
+
+  // dp[mask * n + v]: cheapest path from source through exactly `mask`,
+  // currently at v. The tail is only allowed as the final vertex.
+  std::vector<double> dp(mask_count * n, kInf);
+  std::vector<std::uint8_t> parent(mask_count * n, 0);
+  dp[(std::size_t{1} << instance.source) * n + instance.source] = 0.0;
+
+  for (std::size_t mask = 1; mask < mask_count; ++mask) {
+    if (!(mask & (std::size_t{1} << instance.source))) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!(mask & (std::size_t{1} << v))) continue;
+      const double base = dp[mask * n + v];
+      if (base == kInf) continue;
+      if (v == instance.tail) continue;  // the tail ends the path
+      for (std::size_t w = 0; w < n; ++w) {
+        if (mask & (std::size_t{1} << w)) continue;
+        const double cost = base + instance.cost[v][w];
+        const std::size_t slot = (mask | (std::size_t{1} << w)) * n + w;
+        if (cost < dp[slot]) {
+          dp[slot] = cost;
+          parent[slot] = static_cast<std::uint8_t>(v);
+        }
+      }
+    }
+  }
+
+  const std::size_t full = mask_count - 1;
+  if (dp[full * n + instance.tail] == kInf) {
+    return util::infeasible("no Hamiltonian source->tail path exists");
+  }
+  std::vector<std::size_t> path(n);
+  std::size_t mask = full;
+  std::size_t v = instance.tail;
+  for (std::size_t i = n; i-- > 0;) {
+    path[i] = v;
+    const std::size_t prev = parent[mask * n + v];
+    mask &= ~(std::size_t{1} << v);
+    v = prev;
+  }
+  return path;
+}
+
+std::vector<std::size_t> mapping_to_path(const mapping::GeneralMapping& mapping) {
+  return mapping.assignment();
+}
+
+double expected_latency_for_path_cost(const TspInstance& instance, double cost) {
+  // 1 (P_in -> source) + n computations + path cost + 1 (tail -> P_out).
+  return cost + static_cast<double>(instance.vertex_count()) + 2.0;
+}
+
+}  // namespace relap::reductions

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file tsp.hpp
+/// Executable form of Theorem 3: minimizing the latency of one-to-one
+/// mappings on Fully Heterogeneous platforms is NP-hard, by reduction from
+/// the Traveling Salesman (Hamiltonian path) problem.
+///
+/// The construction (paper Section 4.1): given a complete graph G with edge
+/// costs c, a source s, a tail t and a bound K, build a pipeline of n = |V|
+/// unit stages (w_i = delta_i = 1) and a platform of n unit-speed
+/// processors; interconnect P_in with s and P_out with t at bandwidth 1,
+/// processor i with j at bandwidth 1/c(i,j), and make every other link
+/// slower than 1/(K+n+3). Then G has a Hamiltonian path from s to t of cost
+/// <= K iff the reduced instance admits a one-to-one mapping of latency
+/// <= K' = K + n + 2 — and the mapping *is* the path.
+///
+/// The module also ships a Held-Karp solver for the source problem so tests
+/// can verify both directions of the reduction, and converters between
+/// mappings and paths.
+
+#include <cstddef>
+#include <vector>
+
+#include "relap/algorithms/types.hpp"
+#include "relap/mapping/general_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+#include "relap/util/expected.hpp"
+
+namespace relap::reductions {
+
+/// A TSP (Hamiltonian s-t path) decision instance on a complete graph.
+struct TspInstance {
+  /// Symmetric or asymmetric edge costs; cost[i][j] > 0 for i != j.
+  std::vector<std::vector<double>> cost;
+  std::size_t source = 0;
+  std::size_t tail = 0;
+  double bound = 0.0;  ///< K
+
+  [[nodiscard]] std::size_t vertex_count() const { return cost.size(); }
+};
+
+/// The reduced scheduling instance of Theorem 3.
+struct TspReduction {
+  pipeline::Pipeline pipeline;
+  platform::Platform platform;
+  /// K' = K + n + 2: the latency threshold of the decision problem.
+  double latency_threshold;
+};
+
+/// Builds the reduced instance. Preconditions: >= 2 vertices, source != tail,
+/// positive finite costs off the diagonal.
+[[nodiscard]] TspReduction tsp_to_one_to_one(const TspInstance& instance);
+
+/// Cost of a given vertex sequence (must start at source, end at tail, and
+/// visit every vertex exactly once — asserted).
+[[nodiscard]] double path_cost(const TspInstance& instance, const std::vector<std::size_t>& path);
+
+/// Exact minimum Hamiltonian source->tail path, by Held-Karp dynamic
+/// programming (O(2^n n^2)). Errors with "budget" beyond 20 vertices.
+[[nodiscard]] util::Expected<std::vector<std::size_t>> held_karp_path(const TspInstance& instance);
+
+/// Interprets a one-to-one mapping of the reduced instance as the vertex
+/// sequence it traverses (stage order = path order).
+[[nodiscard]] std::vector<std::size_t> mapping_to_path(const mapping::GeneralMapping& mapping);
+
+/// Round-trip check used by tests and the bench: latency of the reduced
+/// mapping equals path cost + n + 2 for any Hamiltonian s->t path.
+[[nodiscard]] double expected_latency_for_path_cost(const TspInstance& instance, double cost);
+
+}  // namespace relap::reductions

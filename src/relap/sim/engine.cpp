@@ -1,0 +1,198 @@
+#include "relap/sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mutable per-run simulation state.
+struct State {
+  std::vector<double> avail;  ///< next-free time per processor
+  double avail_in = 0.0;
+  double avail_out = 0.0;
+  std::vector<double> death;        ///< resolved death time per processor
+  std::vector<bool> received_once;  ///< for fail_after_first_receive resolution
+};
+
+/// A transfer completes iff both endpoints outlive it.
+bool transfer_completes(const State& state, std::int64_t sender, std::int64_t receiver,
+                        double end) {
+  const bool sender_ok =
+      sender == kExternal || state.death[static_cast<std::size_t>(sender)] >= end;
+  const bool receiver_ok =
+      receiver == kExternal || state.death[static_cast<std::size_t>(receiver)] >= end;
+  return sender_ok && receiver_ok;
+}
+
+}  // namespace
+
+double SimResult::worst_latency() const {
+  double worst = -kInf;
+  for (const DatasetOutcome& d : datasets) {
+    if (d.completed) worst = std::max(worst, d.latency());
+  }
+  return worst;
+}
+
+std::size_t SimResult::completed_count() const {
+  std::size_t count = 0;
+  for (const DatasetOutcome& d : datasets) count += d.completed ? 1 : 0;
+  return count;
+}
+
+SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                   const mapping::IntervalMapping& mapping, const FailureScenario& scenario,
+                   const SimOptions& options) {
+  RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
+               "mapping does not cover the pipeline");
+  const std::size_t m = platform.processor_count();
+  RELAP_ASSERT(scenario.failure_time.size() == m && scenario.fail_after_first_receive.size() == m,
+               "failure scenario does not match the platform");
+  RELAP_ASSERT(options.dataset_count >= 1, "need at least one data set");
+
+  State state;
+  state.avail.assign(m, 0.0);
+  state.death = scenario.failure_time;
+  state.received_once.assign(m, false);
+
+  const std::size_t p = mapping.interval_count();
+
+  // Receive order per interval, fixed across data sets.
+  std::vector<std::vector<platform::ProcessorId>> order(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    order[j] = mapping.interval(j).processors;  // already sorted by id
+    if (options.send_order == SendOrder::WorstCaseLast) {
+      const std::vector<platform::ProcessorId>* next =
+          (j + 1 < p) ? &mapping.interval(j + 1).processors : nullptr;
+      const platform::ProcessorId survivor =
+          worst_case_survivor(pipeline, platform, mapping.interval(j), next);
+      auto it = std::find(order[j].begin(), order[j].end(), survivor);
+      RELAP_ASSERT(it != order[j].end(), "survivor must belong to its group");
+      order[j].erase(it);
+      order[j].push_back(survivor);
+    }
+  }
+
+  SimResult result;
+  result.datasets.resize(options.dataset_count);
+
+  for (std::size_t d = 0; d < options.dataset_count; ++d) {
+    DatasetOutcome& outcome = result.datasets[d];
+    outcome.injection_time = -1.0;  // set at the first transfer
+
+    // The designated sender of the previous interval; kExternal means P_in.
+    std::int64_t sender = kExternal;
+    double data_ready = 0.0;
+    bool dataset_alive = true;
+
+    for (std::size_t j = 0; j < p && dataset_alive; ++j) {
+      const mapping::IntervalAssignment& group = mapping.interval(j);
+      const double in_size = pipeline.data(group.stages.first);
+      const double work = pipeline.work_sum(group.stages.first, group.stages.last);
+
+      // --- Serialized receive phase. -----------------------------------
+      std::vector<double> receive_end(m, kInf);  // kInf = did not receive
+      double& sender_avail =
+          (sender == kExternal) ? state.avail_in : state.avail[static_cast<std::size_t>(sender)];
+      for (const platform::ProcessorId v : order[j]) {
+        const double start = std::max({sender_avail, state.avail[v], data_ready});
+        // Consensus knows a peer that is already dead; skip it for free.
+        if (state.death[v] <= start) continue;
+        // A dead sender cannot transmit; the dataset is lost past this point.
+        if (sender != kExternal && state.death[static_cast<std::size_t>(sender)] <= start) break;
+        const double duration =
+            in_size / ((sender == kExternal) ? platform.bandwidth_in(v)
+                                             : platform.bandwidth(
+                                                   static_cast<platform::ProcessorId>(sender), v));
+        const double end = start + duration;
+        const bool ok = transfer_completes(state, sender, static_cast<std::int64_t>(v), end);
+        sender_avail = end;
+        state.avail[v] = end;
+        if (outcome.injection_time < 0.0 && sender == kExternal) outcome.injection_time = start;
+        if (options.trace != nullptr) {
+          options.trace->record(TraceOp{OpKind::Transfer, d, j, sender,
+                                        static_cast<std::int64_t>(v), start, end, ok});
+        }
+        if (ok) {
+          receive_end[v] = end;
+          if (scenario.fail_after_first_receive[v] && !state.received_once[v]) {
+            state.death[v] = end;  // dies the instant its first receive completes
+          }
+          state.received_once[v] = true;
+        }
+      }
+
+      // --- Compute phase. ----------------------------------------------
+      double best_completion = kInf;
+      platform::ProcessorId best_replica = 0;
+      for (const platform::ProcessorId v : group.processors) {
+        if (receive_end[v] == kInf) continue;
+        const double start = std::max(receive_end[v], state.avail[v]);
+        const double end = start + work / platform.speed(v);
+        state.avail[v] = end;
+        // "death > start" makes a zero-work compute on a
+        // dead-after-receive replica fail, as it should.
+        const bool ok = state.death[v] >= end && state.death[v] > start;
+        if (options.trace != nullptr) {
+          options.trace->record(TraceOp{OpKind::Compute, d, j, static_cast<std::int64_t>(v),
+                                        kExternal, start, end, ok});
+        }
+        if (ok && (end < best_completion ||
+                   (end == best_completion && v < best_replica))) {
+          best_completion = end;
+          best_replica = v;
+        }
+      }
+      if (best_completion == kInf) {
+        dataset_alive = false;
+        break;
+      }
+      sender = static_cast<std::int64_t>(best_replica);
+      data_ready = best_completion;
+    }
+
+    if (!dataset_alive) {
+      outcome.completed = false;
+      outcome.completion_time = kInf;
+      result.application_failed = true;
+      continue;
+    }
+
+    // --- Final transfer to P_out. --------------------------------------
+    const auto out_sender = static_cast<platform::ProcessorId>(sender);
+    const double start = std::max({state.avail[out_sender], state.avail_out, data_ready});
+    if (state.death[out_sender] <= start) {
+      outcome.completed = false;
+      outcome.completion_time = kInf;
+      result.application_failed = true;
+      continue;
+    }
+    const double end = start + pipeline.data(pipeline.stage_count()) / platform.bandwidth_out(out_sender);
+    const bool ok = state.death[out_sender] >= end;
+    state.avail[out_sender] = end;
+    state.avail_out = end;
+    if (options.trace != nullptr) {
+      options.trace->record(
+          TraceOp{OpKind::Transfer, d, p, sender, kExternal, start, end, ok});
+    }
+    if (!ok) {
+      outcome.completed = false;
+      outcome.completion_time = kInf;
+      result.application_failed = true;
+      continue;
+    }
+    outcome.completed = true;
+    outcome.completion_time = end;
+    result.makespan = std::max(result.makespan, end);
+  }
+
+  return result;
+}
+
+}  // namespace relap::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file engine.hpp
+/// Discrete-event simulation of an interval mapping under the one-port
+/// model with failure injection — the library's executable substitute for
+/// the testbed the paper does not have (DESIGN.md §4).
+///
+/// Semantics, matching the cost model of Section 2:
+///  * every resource (P_in, each processor, P_out) performs one operation at
+///    a time; transfers occupy both endpoints for size/bandwidth time-units;
+///  * the replicas of interval j receive their input through *serialized*
+///    transfers from the previous interval's designated sender (or P_in);
+///  * a replica computes its whole interval after its own receive completes;
+///  * the designated sender of interval j is the earliest-completing replica
+///    that is still alive (ties by processor id) — the paper's consensus
+///    protocol [17]; it alone forwards the output;
+///  * a processor that dies mid-operation wastes the operation: transfers it
+///    was receiving are lost (the sender's time is still spent), computes
+///    produce nothing; peers it would have received later are skipped once
+///    it is known dead at the transfer's start;
+///  * a data set fails when an interval has no surviving completed replica;
+///    the application run fails when any data set fails.
+///
+/// Scheduling is greedy virtual-time FIFO: data sets are processed in order
+/// on every resource. This is deterministic and matches the steady-state
+/// assumptions behind Equations (1)/(2); with the worst-case failure
+/// scenario and worst-case send order the simulated latency reproduces the
+/// equations exactly (asserted by the engine tests and bench_simulation).
+
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+#include "relap/sim/failure_model.hpp"
+#include "relap/sim/trace.hpp"
+
+namespace relap::sim {
+
+/// Order in which a sender emits the serialized copies to the next group.
+enum class SendOrder {
+  ById,           ///< ascending processor id
+  WorstCaseLast,  ///< the Eq. (2) worst-case survivor receives last
+};
+
+struct SimOptions {
+  std::size_t dataset_count = 1;
+  SendOrder send_order = SendOrder::ById;
+  /// Optional operation log (not owned).
+  Trace* trace = nullptr;
+};
+
+struct DatasetOutcome {
+  bool completed = false;
+  /// Start of the data set's first input transfer from P_in.
+  double injection_time = 0.0;
+  /// Arrival time of the result at P_out; +infinity when failed.
+  double completion_time = 0.0;
+
+  [[nodiscard]] double latency() const { return completion_time - injection_time; }
+};
+
+struct SimResult {
+  std::vector<DatasetOutcome> datasets;
+  bool application_failed = false;
+  /// Completion time of the last successful data set (0 if none).
+  double makespan = 0.0;
+
+  /// Largest latency over completed data sets (-infinity if none).
+  [[nodiscard]] double worst_latency() const;
+  /// Number of completed data sets.
+  [[nodiscard]] std::size_t completed_count() const;
+};
+
+/// Runs the simulation. The mapping must cover the pipeline and name only
+/// platform processors (asserted).
+[[nodiscard]] SimResult simulate(const pipeline::Pipeline& pipeline,
+                                 const platform::Platform& platform,
+                                 const mapping::IntervalMapping& mapping,
+                                 const FailureScenario& scenario, const SimOptions& options = {});
+
+}  // namespace relap::sim

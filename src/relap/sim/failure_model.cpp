@@ -1,0 +1,98 @@
+#include "relap/sim/failure_model.hpp"
+
+#include <limits>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::sim {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}
+
+FailureScenario FailureScenario::none(std::size_t processor_count) {
+  return FailureScenario{std::vector<double>(processor_count, kNever),
+                         std::vector<bool>(processor_count, false)};
+}
+
+FailureScenario FailureScenario::at_times(std::vector<double> times) {
+  const std::size_t m = times.size();
+  return FailureScenario{std::move(times), std::vector<bool>(m, false)};
+}
+
+FailureScenario FailureScenario::draw(const platform::Platform& platform, double horizon,
+                                      util::Rng& rng) {
+  RELAP_ASSERT(horizon > 0.0, "failure horizon must be positive");
+  FailureScenario scenario = none(platform.processor_count());
+  for (platform::ProcessorId u = 0; u < platform.processor_count(); ++u) {
+    if (rng.bernoulli(platform.failure_prob(u))) {
+      scenario.failure_time[u] = rng.uniform(0.0, horizon);
+    }
+  }
+  return scenario;
+}
+
+platform::ProcessorId worst_case_survivor(const pipeline::Pipeline& pipeline,
+                                          const platform::Platform& platform,
+                                          const mapping::IntervalAssignment& interval,
+                                          const std::vector<platform::ProcessorId>* next_group) {
+  const double work = pipeline.work_sum(interval.stages.first, interval.stages.last);
+  const double out_size = pipeline.data(interval.stages.last + 1);
+  platform::ProcessorId worst = interval.processors.front();
+  double worst_term = -1.0;
+  for (const platform::ProcessorId u : interval.processors) {
+    double term = work / platform.speed(u);
+    if (next_group != nullptr) {
+      for (const platform::ProcessorId v : *next_group) {
+        term += out_size / platform.bandwidth(u, v);
+      }
+    } else {
+      term += out_size / platform.bandwidth_out(u);
+    }
+    if (term > worst_term) {
+      worst_term = term;
+      worst = u;
+    }
+  }
+  return worst;
+}
+
+FailureScenario FailureScenario::worst_case(const pipeline::Pipeline& pipeline,
+                                            const platform::Platform& platform,
+                                            const mapping::IntervalMapping& mapping) {
+  FailureScenario scenario = none(platform.processor_count());
+  const std::size_t p = mapping.interval_count();
+  for (std::size_t j = 0; j < p; ++j) {
+    const mapping::IntervalAssignment& a = mapping.interval(j);
+    const std::vector<platform::ProcessorId>* next =
+        (j + 1 < p) ? &mapping.interval(j + 1).processors : nullptr;
+    const platform::ProcessorId survivor = worst_case_survivor(pipeline, platform, a, next);
+    for (const platform::ProcessorId u : a.processors) {
+      if (u != survivor) scenario.fail_after_first_receive[u] = true;
+    }
+  }
+  return scenario;
+}
+
+bool FailureScenario::dead_at(platform::ProcessorId u, double time) const {
+  RELAP_ASSERT(u < failure_time.size(), "processor id out of range");
+  return failure_time[u] <= time;
+}
+
+bool FailureScenario::application_fails(const mapping::IntervalMapping& mapping) const {
+  for (const mapping::IntervalAssignment& a : mapping.intervals()) {
+    bool any_survivor = false;
+    for (const platform::ProcessorId u : a.processors) {
+      const bool dies =
+          fail_after_first_receive[u] || failure_time[u] < std::numeric_limits<double>::infinity();
+      if (!dies) {
+        any_survivor = true;
+        break;
+      }
+    }
+    if (!any_survivor) return true;
+  }
+  return false;
+}
+
+}  // namespace relap::sim

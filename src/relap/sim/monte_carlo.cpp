@@ -1,0 +1,86 @@
+#include "relap/sim/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "relap/mapping/reliability.hpp"
+#include "relap/util/assert.hpp"
+#include "relap/util/rng.hpp"
+
+namespace relap::sim {
+
+bool FailureRateEstimate::consistent(double slack) const {
+  return std::abs(empirical - analytic) <= slack + ci95_half_width;
+}
+
+FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
+                                          const mapping::IntervalMapping& mapping,
+                                          const MonteCarloOptions& options) {
+  RELAP_ASSERT(options.trials >= 1, "need at least one trial");
+  util::Rng rng(options.seed);
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    bool app_failed = false;
+    for (const mapping::IntervalAssignment& a : mapping.intervals()) {
+      bool group_wiped = true;
+      for (const platform::ProcessorId u : a.processors) {
+        if (!rng.bernoulli(platform.failure_prob(u))) {
+          group_wiped = false;
+          // Keep drawing the remaining replicas so the stream position does
+          // not depend on outcomes (reproducibility across refactors).
+        }
+      }
+      app_failed = app_failed || group_wiped;
+    }
+    failures += app_failed ? 1 : 0;
+  }
+
+  FailureRateEstimate estimate;
+  estimate.trials = options.trials;
+  estimate.empirical = static_cast<double>(failures) / static_cast<double>(options.trials);
+  estimate.analytic = mapping::failure_probability(platform, mapping);
+  const double variance = estimate.empirical * (1.0 - estimate.empirical);
+  estimate.ci95_half_width =
+      1.96 * std::sqrt(variance / static_cast<double>(options.trials));
+  return estimate;
+}
+
+TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                      const mapping::IntervalMapping& mapping, const TrialOptions& options) {
+  RELAP_ASSERT(options.trials >= 1, "need at least one trial");
+  util::Rng rng(options.seed);
+
+  SimOptions sim_options;
+  sim_options.dataset_count = options.dataset_count;
+
+  // Failure-free reference run fixes the horizon.
+  const SimResult reference =
+      simulate(pipeline, platform, mapping, FailureScenario::none(platform.processor_count()),
+               sim_options);
+  RELAP_ASSERT(!reference.application_failed, "the failure-free run cannot fail");
+  const double horizon = std::max(reference.makespan * options.horizon_factor, 1e-9);
+
+  TrialStats stats;
+  stats.failure_free_latency = reference.worst_latency();
+
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    util::Rng trial_rng = rng.split();
+    const FailureScenario scenario = FailureScenario::draw(platform, horizon, trial_rng);
+    const SimResult run = simulate(pipeline, platform, mapping, scenario, sim_options);
+    if (run.application_failed) {
+      ++failures;
+    } else {
+      stats.latency.add(run.worst_latency());
+    }
+  }
+
+  stats.failure.trials = options.trials;
+  stats.failure.empirical = static_cast<double>(failures) / static_cast<double>(options.trials);
+  stats.failure.analytic = mapping::failure_probability(platform, mapping);
+  const double variance = stats.failure.empirical * (1.0 - stats.failure.empirical);
+  stats.failure.ci95_half_width =
+      1.96 * std::sqrt(variance / static_cast<double>(options.trials));
+  return stats;
+}
+
+}  // namespace relap::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file monte_carlo.hpp
+/// Monte-Carlo validation of the analytic formulas.
+///
+/// Two estimators:
+///  * `estimate_failure_rate` draws Bernoulli failure realizations directly
+///    (no event simulation needed — the paper's FP is exactly the
+///    probability that some replica group is wiped out) and compares the
+///    empirical frequency against the closed-form FP;
+///  * `run_trials` drives the full engine per realization, collecting
+///    latency statistics of surviving runs and the empirical failure rate
+///    under actual execution semantics (a run can also fail because the
+///    designated sender dies mid-transfer, so its rate is >= the analytic
+///    FP; with failure times at the horizon's far end the two coincide).
+
+#include <cstdint>
+
+#include "relap/mapping/interval_mapping.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/platform.hpp"
+#include "relap/sim/engine.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::sim {
+
+struct MonteCarloOptions {
+  std::size_t trials = 100'000;
+  std::uint64_t seed = 0xFEEDFACE12345ULL;
+};
+
+struct FailureRateEstimate {
+  double empirical = 0.0;
+  double analytic = 0.0;
+  /// Normal-approximation 95% half-width of the empirical estimate.
+  double ci95_half_width = 0.0;
+  std::size_t trials = 0;
+
+  /// |empirical - analytic| <= slack + CI? (the tests' acceptance check)
+  [[nodiscard]] bool consistent(double slack = 0.0) const;
+};
+
+/// Direct Bernoulli estimate of the application failure probability.
+[[nodiscard]] FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
+                                                        const mapping::IntervalMapping& mapping,
+                                                        const MonteCarloOptions& options = {});
+
+struct TrialStats {
+  FailureRateEstimate failure;
+  /// Worst per-data-set latency of each fully successful trial.
+  util::StreamingStats latency;
+  /// Latency of the failure-free reference run.
+  double failure_free_latency = 0.0;
+};
+
+struct TrialOptions {
+  std::size_t trials = 2'000;
+  std::uint64_t seed = 0xFEEDFACE12345ULL;
+  std::size_t dataset_count = 1;
+  /// Failure times are drawn uniform in [0, horizon_factor * failure-free
+  /// makespan); a factor > 1 means failures can land after the run.
+  double horizon_factor = 1.0;
+};
+
+/// Full-engine Monte Carlo.
+[[nodiscard]] TrialStats run_trials(const pipeline::Pipeline& pipeline,
+                                    const platform::Platform& platform,
+                                    const mapping::IntervalMapping& mapping,
+                                    const TrialOptions& options = {});
+
+}  // namespace relap::sim

@@ -1,0 +1,32 @@
+#include "relap/sim/trace.hpp"
+
+#include "relap/util/strings.hpp"
+
+namespace relap::sim {
+
+namespace {
+
+std::string endpoint_name(std::int64_t id, bool sender) {
+  if (id == kExternal) return sender ? "P_in" : "P_out";
+  return "P" + std::to_string(id);
+}
+
+}  // namespace
+
+std::string Trace::describe() const {
+  std::string out;
+  for (const TraceOp& op : ops_) {
+    out += '[' + util::format_fixed(op.start, 3) + ", " + util::format_fixed(op.end, 3) + "] d" +
+           std::to_string(op.dataset) + " I" + std::to_string(op.interval) + ' ';
+    if (op.kind == OpKind::Transfer) {
+      out += endpoint_name(op.subject, true) + " -> " + endpoint_name(op.peer, false);
+    } else {
+      out += endpoint_name(op.subject, true) + " compute";
+    }
+    if (!op.completed) out += " (failed)";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace relap::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file trace.hpp
+/// Operation-level trace of a simulation run, for debugging, the failure_sim
+/// example and the engine tests (which assert on exact operation windows).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relap::sim {
+
+enum class OpKind : std::uint8_t {
+  Transfer,  ///< subject = sender (-1 for P_in), peer = receiver (-1 for P_out)
+  Compute,   ///< subject = processor, peer unused
+};
+
+/// Sentinel processor id for P_in / P_out endpoints in trace records.
+inline constexpr std::int64_t kExternal = -1;
+
+struct TraceOp {
+  OpKind kind = OpKind::Transfer;
+  std::size_t dataset = 0;
+  std::size_t interval = 0;
+  std::int64_t subject = 0;  ///< acting processor (sender / computer)
+  std::int64_t peer = 0;     ///< transfer receiver; unused for computes
+  double start = 0.0;
+  double end = 0.0;
+  bool completed = true;  ///< false if a failure aborted the operation
+};
+
+/// Chronologically ordered (by start, then record order) operation log.
+class Trace {
+ public:
+  void record(const TraceOp& op) { ops_.push_back(op); }
+  [[nodiscard]] const std::vector<TraceOp>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+
+  /// Multi-line human-readable dump.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+}  // namespace relap::sim

@@ -1,0 +1,17 @@
+#include "relap/util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace relap::util {
+
+void assert_fail(std::string_view condition, std::string_view message, std::string_view file,
+                 int line) {
+  std::fprintf(stderr, "relap: contract violation at %.*s:%d\n  condition: %.*s\n  message:   %.*s\n",
+               static_cast<int>(file.size()), file.data(), line, static_cast<int>(condition.size()),
+               condition.data(), static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace relap::util

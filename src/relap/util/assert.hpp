@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros for relap.
+///
+/// `RELAP_ASSERT` guards *programming errors* (violated preconditions or
+/// invariants). It is active in all build types: the algorithms in this
+/// library are cheap relative to the cost of silently producing a wrong
+/// mapping, so we never compile the checks out. Failures print the condition,
+/// an explanatory message and the source location, then abort.
+
+#include <string_view>
+
+namespace relap::util {
+
+/// Prints a diagnostic for a failed contract and aborts the process.
+/// Exposed as a function (rather than inlining everything in the macro) to
+/// keep call sites small.
+[[noreturn]] void assert_fail(std::string_view condition, std::string_view message,
+                              std::string_view file, int line);
+
+}  // namespace relap::util
+
+#define RELAP_ASSERT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::relap::util::assert_fail(#cond, (msg), __FILE__, __LINE__);          \
+    }                                                                        \
+  } while (false)
+
+/// Marks code paths that are logically impossible to reach.
+#define RELAP_UNREACHABLE(msg) ::relap::util::assert_fail("unreachable", (msg), __FILE__, __LINE__)

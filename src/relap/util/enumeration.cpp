@@ -1,0 +1,167 @@
+#include "relap/util/enumeration.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::util {
+
+namespace {
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+/// Saturating multiply for the counting helpers.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  if (a > kSaturated - b) return kSaturated;
+  return a + b;
+}
+
+bool compose_rec(std::size_t remaining, std::size_t parts_left, std::vector<std::size_t>& parts,
+                 const std::function<bool(std::span<const std::size_t>)>& visit) {
+  if (remaining == 0) return visit(parts);
+  if (parts_left == 0) return true;  // dead branch, not an abort
+  for (std::size_t take = 1; take <= remaining; ++take) {
+    // The remaining stages must still fit: with parts_left-1 more parts each
+    // of size >= 1 we can absorb anything, so no upper-bound prune is needed
+    // beyond `take <= remaining`; but if this is the last allowed part it
+    // must take everything.
+    if (parts_left == 1 && take != remaining) continue;
+    parts.push_back(take);
+    const bool keep_going = compose_rec(remaining - take, parts_left - 1, parts, visit);
+    parts.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool grouping_rec(std::size_t item, std::size_t m, std::size_t p, std::vector<std::size_t>& group_of,
+                  std::vector<std::size_t>& group_sizes, std::size_t empty_groups,
+                  const std::function<bool(std::span<const std::size_t>)>& visit) {
+  if (item == m) {
+    if (empty_groups > 0) return true;  // dead branch
+    return visit(group_of);
+  }
+  // Prune: every still-empty group needs at least one of the remaining items.
+  if (empty_groups > m - item) return true;
+  for (std::size_t g = 0; g <= p; ++g) {  // g == p means "unused"
+    const bool fills_empty = g < p && group_sizes[g] == 0;
+    group_of[item] = g;
+    if (g < p) ++group_sizes[g];
+    const bool keep_going =
+        grouping_rec(item + 1, m, p, group_of, group_sizes,
+                     fills_empty ? empty_groups - 1 : empty_groups, visit);
+    if (g < p) --group_sizes[g];
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool for_each_composition(std::size_t n, std::size_t max_parts,
+                          const std::function<bool(std::span<const std::size_t>)>& visit) {
+  RELAP_ASSERT(n >= 1, "composition of zero stages");
+  RELAP_ASSERT(max_parts >= 1, "need at least one part");
+  std::vector<std::size_t> parts;
+  parts.reserve(std::min(n, max_parts));
+  return compose_rec(n, std::min(n, max_parts), parts, visit);
+}
+
+std::uint64_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  // 128-bit intermediates: C(64, 32) fits in uint64 but its running products
+  // do not. (__extension__ silences -Wpedantic for the GCC/Clang extension.)
+  __extension__ typedef unsigned __int128 UWide;
+  UWide result = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    result = result * static_cast<UWide>(n - i) / static_cast<UWide>(i + 1);
+    if (result > static_cast<UWide>(kSaturated)) return kSaturated;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t count_compositions(std::size_t n, std::size_t max_parts) {
+  std::uint64_t total = 0;
+  for (std::size_t p = 1; p <= std::min(n, max_parts); ++p) {
+    total = sat_add(total, binomial(n - 1, p - 1));
+  }
+  return total;
+}
+
+bool for_each_subset(std::size_t m, bool include_empty,
+                     const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  RELAP_ASSERT(m <= 63, "subset enumeration limited to 63 elements");
+  std::vector<std::size_t> subset;
+  const std::uint64_t limit = std::uint64_t{1} << m;
+  for (std::uint64_t mask = include_empty ? 0 : 1; mask < limit; ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1U) subset.push_back(i);
+    }
+    if (!visit(subset)) return false;
+  }
+  return true;
+}
+
+bool for_each_combination(std::size_t m, std::size_t k,
+                          const std::function<bool(std::span<const std::size_t>)>& visit) {
+  RELAP_ASSERT(k <= m, "combination size exceeds ground set");
+  std::vector<std::size_t> comb(k);
+  for (std::size_t i = 0; i < k; ++i) comb[i] = i;
+  if (k == 0) return visit(comb);
+  while (true) {
+    if (!visit(comb)) return false;
+    // Advance to next lexicographic combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (comb[i] != i + m - k) break;
+      if (i == 0) return true;  // last combination visited
+    }
+    ++comb[i];
+    for (std::size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+  }
+}
+
+bool for_each_grouping(std::size_t m, std::size_t p,
+                       const std::function<bool(std::span<const std::size_t>)>& visit) {
+  RELAP_ASSERT(p >= 1, "need at least one group");
+  RELAP_ASSERT(m >= p, "cannot fill p groups with fewer than p items");
+  std::vector<std::size_t> group_of(m, 0);
+  std::vector<std::size_t> group_sizes(p, 0);
+  return grouping_rec(0, m, p, group_of, group_sizes, p, visit);
+}
+
+std::uint64_t count_raw_groupings(std::size_t m, std::size_t p) {
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i < m; ++i) result = sat_mul(result, static_cast<std::uint64_t>(p + 1));
+  return result;
+}
+
+std::uint64_t count_groupings(std::size_t m, std::size_t p) {
+  // Inclusion-exclusion over which of the p groups stay empty:
+  //   sum_{j=0}^{p} (-1)^j C(p, j) (p - j + 1)^m
+  // computed with signed 128-bit arithmetic, saturating on overflow.
+  // (__int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic
+  // quiet. It is exact far beyond any instance the enumerator could visit.)
+  __extension__ typedef __int128 Wide;
+  Wide total = 0;
+  for (std::size_t j = 0; j <= p; ++j) {
+    Wide term = static_cast<Wide>(binomial(p, j));
+    for (std::size_t i = 0; i < m; ++i) term *= static_cast<Wide>(p - j + 1);
+    total += (j % 2 == 0) ? term : -term;
+  }
+  if (total < 0) return 0;
+  if (total > static_cast<Wide>(kSaturated)) return kSaturated;
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace relap::util

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file enumeration.hpp
+/// Combinatorial enumeration primitives used by the exact (exponential)
+/// baseline solvers in `relap::algorithms`.
+///
+/// All enumerators take a callback returning `bool`: `true` continues the
+/// enumeration, `false` aborts it early. The enumerator itself returns `true`
+/// iff the enumeration ran to completion (was not aborted).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace relap::util {
+
+/// Visits every composition of `n` into between 1 and `max_parts` ordered
+/// positive parts. A composition (c_1, ..., c_p) with sum n corresponds to the
+/// partition of stages [0, n) into intervals of those lengths.
+/// Preconditions: n >= 1, max_parts >= 1.
+bool for_each_composition(std::size_t n, std::size_t max_parts,
+                          const std::function<bool(std::span<const std::size_t>)>& visit);
+
+/// Number of compositions of n into at most max_parts parts
+/// (sum_{p=1}^{min(n,max_parts)} C(n-1, p-1)).
+[[nodiscard]] std::uint64_t count_compositions(std::size_t n, std::size_t max_parts);
+
+/// Visits every subset of {0, ..., m-1} (optionally skipping the empty set),
+/// as a sorted vector of indices. Precondition: m <= 63.
+bool for_each_subset(std::size_t m, bool include_empty,
+                     const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Visits every k-element combination of {0, ..., m-1} in lexicographic
+/// order. Preconditions: k <= m.
+bool for_each_combination(std::size_t m, std::size_t k,
+                          const std::function<bool(std::span<const std::size_t>)>& visit);
+
+/// Visits every function g: {0,...,m-1} -> {0,...,p-1, UNUSED} such that each
+/// of the p groups is non-empty, where UNUSED = p means "item not assigned to
+/// any group". The callback receives the group id per item.
+/// This enumerates all ways to pick p disjoint non-empty replica groups out
+/// of m processors. Preconditions: p >= 1, m >= p.
+bool for_each_grouping(std::size_t m, std::size_t p,
+                       const std::function<bool(std::span<const std::size_t>)>& visit);
+
+/// UNUSED marker for `for_each_grouping`: group id == p.
+[[nodiscard]] constexpr std::size_t unused_group(std::size_t p) { return p; }
+
+/// (p+1)^m, the number of raw assignments `for_each_grouping` filters.
+[[nodiscard]] std::uint64_t count_raw_groupings(std::size_t m, std::size_t p);
+
+/// Number of ordered sequences of p disjoint non-empty subsets of an m-set
+/// (the number of callbacks `for_each_grouping` makes): the surjection-style
+/// inclusion-exclusion count sum_{j=0}^{p} (-1)^j C(p,j) (p-j+1)^m ... computed
+/// exactly by DP instead. Used by budgeting logic in the exhaustive solver.
+[[nodiscard]] std::uint64_t count_groupings(std::size_t m, std::size_t p);
+
+/// Binomial coefficient with saturation at uint64 max.
+[[nodiscard]] std::uint64_t binomial(std::size_t n, std::size_t k);
+
+}  // namespace relap::util

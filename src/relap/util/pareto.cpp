@@ -1,0 +1,64 @@
+#include "relap/util/pareto.hpp"
+
+#include <algorithm>
+
+namespace relap::util {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b, double rel_tol, double abs_tol) {
+  const bool no_worse_x = a.x <= b.x || approx_equal(a.x, b.x, rel_tol, abs_tol);
+  const bool no_worse_y = a.y <= b.y || approx_equal(a.y, b.y, rel_tol, abs_tol);
+  if (!no_worse_x || !no_worse_y) return false;
+  const bool better_x = definitely_less(a.x, b.x, rel_tol, abs_tol);
+  const bool better_y = definitely_less(a.y, b.y, rel_tol, abs_tol);
+  return better_x || better_y;
+}
+
+bool ParetoFront::insert(const ParetoPoint& p) {
+  for (const ParetoPoint& q : points_) {
+    if (dominates(q, p, rel_tol_, abs_tol_)) return false;
+    if (approx_equal(q.x, p.x, rel_tol_, abs_tol_) && approx_equal(q.y, p.y, rel_tol_, abs_tol_)) {
+      return false;  // duplicate within tolerance
+    }
+  }
+  std::erase_if(points_, [&](const ParetoPoint& q) { return dominates(p, q, rel_tol_, abs_tol_); });
+  const auto pos = std::lower_bound(points_.begin(), points_.end(), p,
+                                    [](const ParetoPoint& a, const ParetoPoint& b) { return a.x < b.x; });
+  points_.insert(pos, p);
+  return true;
+}
+
+const ParetoPoint* ParetoFront::best_y_within_x(double x_cap) const {
+  // Points are sorted by x ascending and (being a front) y descending, so the
+  // best-y feasible point is the last one with x <= x_cap.
+  const ParetoPoint* best = nullptr;
+  for (const ParetoPoint& p : points_) {
+    if (p.x <= x_cap || approx_equal(p.x, x_cap, rel_tol_, abs_tol_)) {
+      if (best == nullptr || p.y < best->y) best = &p;
+    }
+  }
+  return best;
+}
+
+const ParetoPoint* ParetoFront::best_x_within_y(double y_cap) const {
+  const ParetoPoint* best = nullptr;
+  for (const ParetoPoint& p : points_) {
+    if (p.y <= y_cap || approx_equal(p.y, y_cap, rel_tol_, abs_tol_)) {
+      if (best == nullptr || p.x < best->x) best = &p;
+    }
+  }
+  return best;
+}
+
+bool ParetoFront::covers(const ParetoFront& other) const {
+  for (const ParetoPoint& q : other.points_) {
+    const bool matched = std::any_of(points_.begin(), points_.end(), [&](const ParetoPoint& p) {
+      const bool equal = approx_equal(p.x, q.x, rel_tol_, abs_tol_) &&
+                         approx_equal(p.y, q.y, rel_tol_, abs_tol_);
+      return equal || dominates(p, q, rel_tol_, abs_tol_);
+    });
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace relap::util

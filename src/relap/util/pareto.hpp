@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file pareto.hpp
+/// Pareto-front maintenance for bi-criteria (latency, failure-probability)
+/// optimization. Both coordinates are minimized.
+///
+/// The front is kept sorted by the first coordinate; insertion removes
+/// dominated points. A small tolerance treats near-equal points as equal so
+/// that floating-point noise does not inflate the front.
+
+#include <cstddef>
+#include <vector>
+
+#include "relap/util/stats.hpp"
+
+namespace relap::util {
+
+/// A point in (x, y) objective space with an opaque payload index that the
+/// caller can use to recover the mapping which achieved the point.
+struct ParetoPoint {
+  double x = 0.0;
+  double y = 0.0;
+  std::size_t payload = 0;
+};
+
+/// True iff `a` dominates `b`: a is no worse in both coordinates and strictly
+/// better (beyond tolerance) in at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b, double rel_tol = 1e-9,
+                             double abs_tol = 1e-12);
+
+/// Minimizing Pareto front over (x, y).
+class ParetoFront {
+ public:
+  explicit ParetoFront(double rel_tol = 1e-9, double abs_tol = 1e-12)
+      : rel_tol_(rel_tol), abs_tol_(abs_tol) {}
+
+  /// Inserts `p` unless it is dominated by (or duplicates) an existing point;
+  /// removes any existing points that `p` dominates.
+  /// Returns true iff the point was inserted.
+  bool insert(const ParetoPoint& p);
+
+  /// Points sorted by increasing x (hence decreasing y).
+  [[nodiscard]] const std::vector<ParetoPoint>& points() const { return points_; }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Smallest y over points with x <= x_cap; nullptr if none qualifies.
+  /// (Answers "best reliability achievable within latency budget x_cap".)
+  [[nodiscard]] const ParetoPoint* best_y_within_x(double x_cap) const;
+
+  /// Smallest x over points with y <= y_cap; nullptr if none qualifies.
+  [[nodiscard]] const ParetoPoint* best_x_within_y(double y_cap) const;
+
+  /// True iff every point of `other` is dominated by or equal to some point
+  /// of this front (i.e. this front is at least as good everywhere).
+  [[nodiscard]] bool covers(const ParetoFront& other) const;
+
+ private:
+  double rel_tol_;
+  double abs_tol_;
+  std::vector<ParetoPoint> points_;
+};
+
+}  // namespace relap::util

@@ -1,0 +1,13 @@
+#include "relap/util/rng.hpp"
+
+#include <numeric>
+
+namespace relap::util {
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  return out;
+}
+
+}  // namespace relap::util

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Every randomized component in relap (generators, heuristics, the failure
+/// simulator) takes an explicit 64-bit seed so that runs are reproducible.
+/// We use our own SplitMix64/xoshiro256** implementation rather than
+/// `std::mt19937` because (a) the stream is identical across standard-library
+/// implementations, which matters for cross-platform test goldens, and
+/// (b) it is faster for the Monte-Carlo workloads in `relap::sim`.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::util {
+
+/// SplitMix64: used to expand a single seed into the xoshiro state.
+/// Reference: Sebastiano Vigna, public-domain implementation.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies `std::uniform_random_bit_generator`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    // 53 random mantissa bits; the canonical xoshiro conversion.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Precondition: lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) {
+    RELAP_ASSERT(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's nearly-divisionless bounded sampling.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t bound) {
+    RELAP_ASSERT(bound > 0, "uniform_int bound must be positive");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform size_t index in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(static_cast<std::uint64_t>(n)));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Derives an independent child generator; used to give each Monte-Carlo
+  /// replicate its own stream without long-range correlation.
+  [[nodiscard]] Rng split() { return Rng((*this)() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Returns {0, 1, ..., n-1}.
+[[nodiscard]] std::vector<std::size_t> iota_indices(std::size_t n);
+
+}  // namespace relap::util

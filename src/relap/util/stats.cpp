@@ -1,0 +1,45 @@
+#include "relap/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relap::util {
+
+double kahan_sum(std::span<const double> values) {
+  KahanSum acc;
+  for (const double v : values) acc.add(v);
+  return acc.value();
+}
+
+void StreamingStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+bool definitely_less(double a, double b, double rel_tol, double abs_tol) {
+  return a < b && !approx_equal(a, b, rel_tol, abs_tol);
+}
+
+}  // namespace relap::util

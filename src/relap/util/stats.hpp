@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file stats.hpp
+/// Numerically careful summation and streaming statistics.
+///
+/// The latency formulas sum many magnitudes-apart terms (tiny communication
+/// costs next to large compute terms), and the Monte-Carlo validation
+/// aggregates millions of samples, so we provide Kahan-compensated summation
+/// and a Welford accumulator instead of naive `+=` loops.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace relap::util {
+
+/// Kahan (compensated) summation.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Compensated sum of a span.
+[[nodiscard]] double kahan_sum(std::span<const double> values);
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean. 0 for fewer than two samples.
+  [[nodiscard]] double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative-tolerance comparison used throughout the tests and Pareto logic:
+/// true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-12);
+
+/// a is strictly better (smaller) than b beyond tolerance.
+[[nodiscard]] bool definitely_less(double a, double b, double rel_tol = 1e-9,
+                                   double abs_tol = 1e-12);
+
+}  // namespace relap::util

@@ -1,0 +1,98 @@
+// Tests for algorithms/annealing.hpp: determinism per seed, feasibility
+// tracking, and crossing the gap steepest descent cannot.
+
+#include "relap/algorithms/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/types.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/validate.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+Solution start_from(const pipeline::Pipeline& pipe, const platform::Platform& plat,
+                    mapping::IntervalMapping m) {
+  return evaluate(pipe, plat, std::move(m));
+}
+
+TEST(Annealing, DeterministicPerSeed) {
+  const auto pipe = gen::random_uniform_pipeline(4, 31);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const auto plat = gen::random_comm_hom_het_failures(options, 32);
+  const Solution start =
+      start_from(pipe, plat, mapping::IntervalMapping::single_interval(4, {0}));
+  AnnealingOptions a;
+  a.iterations = 2'000;
+  const Solution r1 = anneal_min_fp(pipe, plat, start, start.latency * 1.5, a);
+  const Solution r2 = anneal_min_fp(pipe, plat, start, start.latency * 1.5, a);
+  EXPECT_EQ(r1.mapping, r2.mapping);
+  EXPECT_DOUBLE_EQ(r1.failure_probability, r2.failure_probability);
+}
+
+TEST(Annealing, DifferentSeedsMayDiverge) {
+  const auto pipe = gen::random_uniform_pipeline(4, 31);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const auto plat = gen::random_comm_hom_het_failures(options, 32);
+  const Solution start =
+      start_from(pipe, plat, mapping::IntervalMapping::single_interval(4, {0}));
+  AnnealingOptions a1;
+  a1.iterations = 500;
+  AnnealingOptions a2 = a1;
+  a2.seed = a1.seed ^ 0x1234567;
+  // Both must remain valid solutions regardless of the paths taken.
+  const Solution r1 = anneal_min_fp(pipe, plat, start, start.latency * 1.5, a1);
+  const Solution r2 = anneal_min_fp(pipe, plat, start, start.latency * 1.5, a2);
+  EXPECT_TRUE(mapping::validate(pipe, plat, r1.mapping).has_value());
+  EXPECT_TRUE(mapping::validate(pipe, plat, r2.mapping).has_value());
+}
+
+TEST(Annealing, NeverWorseThanStartUnderComparator) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 811);
+    const Solution start =
+        start_from(pipe, plat, mapping::IntervalMapping::single_interval(3, {0, 1}));
+    const double cap = start.latency;
+    AnnealingOptions a;
+    a.iterations = 3'000;
+    a.seed = seed;
+    const Solution out = anneal_min_fp(pipe, plat, start, cap, a);
+    EXPECT_FALSE(better_min_fp(start, out, cap)) << "seed " << seed;
+  }
+}
+
+TEST(Annealing, SolvesFig5FromBadStart) {
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  // Start from the slow processor alone: latency 10 + 101 + 0 = 111, far
+  // over the threshold; annealing must tunnel to a feasible mapping.
+  const Solution start =
+      start_from(pipe, plat, mapping::IntervalMapping::single_interval(2, {0}));
+  AnnealingOptions a;
+  a.iterations = 30'000;
+  const Solution out = anneal_min_fp(pipe, plat, start, gen::fig5_latency_threshold(), a);
+  EXPECT_TRUE(within_cap(out.latency, gen::fig5_latency_threshold()));
+  EXPECT_LT(out.failure_probability, 0.64);  // beats the best single interval
+}
+
+TEST(Annealing, MinLatencyDirection) {
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  const Solution start = start_from(pipe, plat, gen::fig4_single_mapping());
+  AnnealingOptions a;
+  a.iterations = 10'000;
+  const Solution out = anneal_min_latency(pipe, plat, start, 0.9, a);
+  EXPECT_TRUE(util::approx_equal(out.latency, 7.0));
+}
+
+}  // namespace
+}  // namespace relap::algorithms

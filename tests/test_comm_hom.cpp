@@ -1,0 +1,114 @@
+// Tests for algorithms/comm_hom.hpp — Theorem 6's Algorithms 3 and 4
+// (Communication Homogeneous + Failure Homogeneous), cross-checked against
+// exhaustive enumeration.
+
+#include "relap/algorithms/comm_hom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(Algorithm3, UsesFastestProcessorsAndScalesK) {
+  const auto pipe = pipeline::Pipeline({12.0}, {1.0, 1.0});
+  const auto plat = platform::make_comm_homogeneous({6.0, 4.0, 3.0, 1.0}, 1.0, 0.5);
+  // k fastest: T(1) = 1 + 2 + 1 = 4; T(2) = 2 + 3 + 1 = 6; T(3) = 3 + 4 + 1 = 8;
+  // T(4) = 4 + 12 + 1 = 17.
+  const Result r8 = comm_hom_min_fp_for_latency(pipe, plat, 8.0);
+  ASSERT_TRUE(r8.has_value());
+  EXPECT_EQ(r8->mapping.processors_used(), 3u);
+  EXPECT_EQ(r8->mapping.interval(0).processors,
+            (std::vector<platform::ProcessorId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r8->latency, 8.0);
+  EXPECT_DOUBLE_EQ(r8->failure_probability, 0.125);
+
+  const Result r6 = comm_hom_min_fp_for_latency(pipe, plat, 7.9);
+  ASSERT_TRUE(r6.has_value());
+  EXPECT_EQ(r6->mapping.processors_used(), 2u);
+}
+
+TEST(Algorithm3, Infeasible) {
+  const auto pipe = pipeline::Pipeline({12.0}, {1.0, 1.0});
+  const auto plat = platform::make_comm_homogeneous({6.0, 4.0}, 1.0, 0.5);
+  const Result r = comm_hom_min_fp_for_latency(pipe, plat, 3.0);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "infeasible");
+}
+
+TEST(Algorithm4, MinimalKThenFastest) {
+  const auto pipe = pipeline::Pipeline({12.0}, {1.0, 1.0});
+  const auto plat = platform::make_comm_homogeneous({6.0, 4.0, 3.0, 1.0}, 1.0, 0.5);
+  // fp^k <= 0.3 needs k = 2; the two fastest are {0, 1}: T = 2 + 3 + 1 = 6.
+  const Result r = comm_hom_min_latency_for_fp(pipe, plat, 0.3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.interval(0).processors, (std::vector<platform::ProcessorId>{0, 1}));
+  EXPECT_DOUBLE_EQ(r->latency, 6.0);
+}
+
+TEST(Algorithm4, Infeasible) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_comm_homogeneous({1.0, 1.0}, 1.0, 0.9);
+  ASSERT_FALSE(comm_hom_min_latency_for_fp(pipe, plat, 0.5).has_value());
+}
+
+// --- Property sweep against the exhaustive oracle. --------------------------
+
+class CommHomSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    const std::uint64_t seed = GetParam();
+    pipe_.emplace(gen::random_uniform_pipeline(3, seed));
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    plat_.emplace(gen::random_comm_homogeneous(options, seed * 313));
+  }
+
+  std::optional<pipeline::Pipeline> pipe_;
+  std::optional<platform::Platform> plat_;
+};
+
+TEST_P(CommHomSweep, Algorithm3MatchesExhaustive) {
+  const auto oracle_front = exhaustive_pareto(*pipe_, *plat_);
+  ASSERT_TRUE(oracle_front.has_value());
+  for (const auto& point : oracle_front->front) {
+    const Result fast = comm_hom_min_fp_for_latency(*pipe_, *plat_, point.latency);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_TRUE(util::approx_equal(fast->failure_probability, point.failure_probability) ||
+                fast->failure_probability < point.failure_probability)
+        << "L=" << point.latency << " alg=" << fast->failure_probability
+        << " oracle=" << point.failure_probability;
+  }
+}
+
+TEST_P(CommHomSweep, Algorithm4MatchesExhaustive) {
+  const auto oracle_front = exhaustive_pareto(*pipe_, *plat_);
+  ASSERT_TRUE(oracle_front.has_value());
+  for (const auto& point : oracle_front->front) {
+    const Result fast = comm_hom_min_latency_for_fp(*pipe_, *plat_, point.failure_probability);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_TRUE(util::approx_equal(fast->latency, point.latency) ||
+                fast->latency < point.latency)
+        << "FP=" << point.failure_probability << " alg=" << fast->latency
+        << " oracle=" << point.latency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommHomSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(AlgorithmsDeath, RequireFailureHomogeneous) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto het = platform::make_comm_homogeneous({1.0, 2.0}, 1.0, {0.1, 0.2});
+  EXPECT_DEATH((void)comm_hom_min_fp_for_latency(pipe, het, 10.0), "homogeneous failure");
+  EXPECT_DEATH((void)comm_hom_min_latency_for_fp(pipe, het, 0.5), "homogeneous failure");
+}
+
+}  // namespace
+}  // namespace relap::algorithms

@@ -1,0 +1,186 @@
+// Tests for algorithms/exhaustive.hpp — the ground-truth enumerator itself:
+// candidate counts match the closed form, budgets abort cleanly, constrained
+// answers agree with front lookups, structural caps behave.
+
+#include "relap/algorithms/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/validate.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(Exhaustive, EvaluationCountMatchesClosedForm) {
+  for (std::size_t n = 1; n <= 3; ++n) {
+    for (std::size_t m = 1; m <= 4; ++m) {
+      const auto pipe = gen::random_uniform_pipeline(n, 1);
+      gen::PlatformGenOptions options;
+      options.processors = m;
+      const auto plat = gen::random_comm_hom_het_failures(options, 2);
+      const auto outcome = exhaustive_pareto(pipe, plat);
+      ASSERT_TRUE(outcome.has_value());
+      EXPECT_EQ(outcome->evaluations, interval_mapping_count(n, m)) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Exhaustive, KnownTinyCount) {
+  // n=1, m=2: single interval on {0}, {1} or {0,1} -> 3 mappings.
+  EXPECT_EQ(interval_mapping_count(1, 2), 3u);
+  // n=2, m=2: p=1 gives 3; p=2 gives 2 (each processor one stage) -> 5.
+  EXPECT_EQ(interval_mapping_count(2, 2), 5u);
+}
+
+TEST(Exhaustive, BudgetAbortsWithError) {
+  const auto pipe = gen::random_uniform_pipeline(4, 3);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const auto plat = gen::random_comm_hom_het_failures(options, 4);
+  ExhaustiveOptions ex;
+  ex.max_evaluations = 10;
+  const auto outcome = exhaustive_pareto(pipe, plat, ex);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, "budget");
+  ASSERT_FALSE(exhaustive_min_fp_for_latency(pipe, plat, 100.0, ex).has_value());
+  ASSERT_FALSE(exhaustive_min_latency_for_fp(pipe, plat, 0.9, ex).has_value());
+}
+
+TEST(Exhaustive, FrontIsSortedAndMutuallyNonDominated) {
+  const auto pipe = gen::random_uniform_pipeline(3, 5);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_hom_het_failures(options, 6);
+  const auto outcome = exhaustive_pareto(pipe, plat);
+  ASSERT_TRUE(outcome.has_value());
+  const auto& front = outcome->front;
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i - 1].latency, front[i].latency);
+    EXPECT_GT(front[i - 1].failure_probability, front[i].failure_probability);
+  }
+  for (const auto& p : front) {
+    EXPECT_TRUE(mapping::validate(pipe, plat, p.mapping).has_value());
+  }
+}
+
+TEST(Exhaustive, ConstrainedAnswersMatchFrontLookups) {
+  const auto pipe = gen::random_uniform_pipeline(3, 7);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_hom_het_failures(options, 8);
+  const auto outcome = exhaustive_pareto(pipe, plat);
+  ASSERT_TRUE(outcome.has_value());
+
+  for (const auto& point : outcome->front) {
+    const Result min_fp = exhaustive_min_fp_for_latency(pipe, plat, point.latency);
+    ASSERT_TRUE(min_fp.has_value());
+    EXPECT_TRUE(util::approx_equal(min_fp->failure_probability, point.failure_probability));
+
+    const Result min_lat = exhaustive_min_latency_for_fp(pipe, plat, point.failure_probability);
+    ASSERT_TRUE(min_lat.has_value());
+    EXPECT_TRUE(util::approx_equal(min_lat->latency, point.latency));
+  }
+}
+
+TEST(Exhaustive, InfeasibleThresholds) {
+  const auto pipe = gen::random_uniform_pipeline(2, 9);
+  gen::PlatformGenOptions options;
+  options.processors = 3;
+  options.fp_min = 0.4;
+  options.fp_max = 0.6;
+  const auto plat = gen::random_comm_hom_het_failures(options, 10);
+  ASSERT_FALSE(exhaustive_min_fp_for_latency(pipe, plat, 1e-6).has_value());
+  ASSERT_FALSE(exhaustive_min_latency_for_fp(pipe, plat, 1e-9).has_value());
+}
+
+TEST(Exhaustive, MaxIntervalsCapRestrictsShapes) {
+  const auto pipe = gen::random_uniform_pipeline(3, 11);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_hom_het_failures(options, 12);
+  ExhaustiveOptions restricted;
+  restricted.max_intervals = 1;
+  const auto outcome = exhaustive_pareto(pipe, plat, restricted);
+  ASSERT_TRUE(outcome.has_value());
+  for (const auto& p : outcome->front) {
+    EXPECT_EQ(p.mapping.interval_count(), 1u);
+  }
+  EXPECT_EQ(outcome->evaluations, interval_mapping_count(1, 4));  // 2^4 - 1 = 15
+}
+
+TEST(Exhaustive, MaxReplicationCapRestrictsGroupSizes) {
+  const auto pipe = gen::random_uniform_pipeline(2, 13);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_hom_het_failures(options, 14);
+  ExhaustiveOptions restricted;
+  restricted.max_replication = 1;
+  const auto outcome = exhaustive_pareto(pipe, plat, restricted);
+  ASSERT_TRUE(outcome.has_value());
+  for (const auto& p : outcome->front) {
+    for (const auto& a : p.mapping.intervals()) {
+      EXPECT_EQ(a.processors.size(), 1u);
+    }
+  }
+}
+
+TEST(Exhaustive, TriCriteriaPeriodFilterTightens) {
+  // min FP s.t. latency <= L and period <= P: relaxing P can only improve
+  // the optimum, and an unbounded P reduces to the bi-criteria answer.
+  const auto pipe = gen::random_uniform_pipeline(3, 21);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_hom_het_failures(options, 22);
+  const double L = 1e9;
+  const Result unconstrained = exhaustive_min_fp_for_latency(pipe, plat, L);
+  ASSERT_TRUE(unconstrained.has_value());
+  const Result loose = exhaustive_min_fp_for_latency_and_period(pipe, plat, L, 1e9);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_TRUE(util::approx_equal(loose->failure_probability,
+                                 unconstrained->failure_probability));
+
+  double previous = -1.0;
+  for (const double period_cap : {2.0, 8.0, 32.0, 128.0, 1e9}) {
+    const Result r = exhaustive_min_fp_for_latency_and_period(pipe, plat, L, period_cap);
+    if (!r) continue;  // very tight caps may be infeasible
+    if (previous >= 0.0) {
+      EXPECT_LE(r->failure_probability, previous + 1e-12);
+    }
+    previous = r->failure_probability;
+  }
+  ASSERT_GE(previous, 0.0);  // at least one cap was feasible
+}
+
+TEST(Exhaustive, TriCriteriaInfeasiblePeriod) {
+  const auto pipe = gen::random_uniform_pipeline(2, 23);
+  gen::PlatformGenOptions options;
+  options.processors = 3;
+  const auto plat = gen::random_comm_hom_het_failures(options, 24);
+  const Result r = exhaustive_min_fp_for_latency_and_period(pipe, plat, 1e9, 1e-9);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "infeasible");
+}
+
+TEST(Exhaustive, GeneralEnumerationBudget) {
+  const auto pipe = gen::random_uniform_pipeline(4, 15);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_fully_heterogeneous(options, 16);
+  ASSERT_FALSE(exhaustive_general_min_latency(pipe, plat, 10).has_value());
+  ASSERT_TRUE(exhaustive_general_min_latency(pipe, plat, 1000).has_value());  // 4^4 = 256
+}
+
+TEST(Exhaustive, OneToOneEnumerationRespectsFeasibility) {
+  const auto pipe = gen::random_uniform_pipeline(3, 17);
+  gen::PlatformGenOptions options;
+  options.processors = 2;
+  const auto plat = gen::random_fully_heterogeneous(options, 18);
+  ASSERT_FALSE(exhaustive_one_to_one_min_latency(pipe, plat).has_value());
+}
+
+}  // namespace
+}  // namespace relap::algorithms

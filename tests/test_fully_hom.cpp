@@ -1,0 +1,153 @@
+// Tests for algorithms/fully_hom.hpp — Theorem 5's Algorithms 1 and 2,
+// cross-checked against exhaustive enumeration (property sweep over seeds),
+// including the paper's closing remark that they stay optimal under
+// heterogeneous failure probabilities.
+
+#include "relap/algorithms/fully_hom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(Algorithm1, HandComputedReplicationCount) {
+  // T(k) = k*delta0/b + W/s + deltan/b = 2k + 5 + 1 with the numbers below.
+  const auto pipe = pipeline::Pipeline({10.0}, {2.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(6, 2.0, 1.0, 0.3);
+  // L = 12 admits k = 3 (2*3 + 6 = 12); k = 4 gives 14 > 12.
+  const Result r = fully_hom_min_fp_for_latency(pipe, plat, 12.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.processors_used(), 3u);
+  EXPECT_DOUBLE_EQ(r->latency, 12.0);
+  EXPECT_NEAR(r->failure_probability, 0.3 * 0.3 * 0.3, 1e-15);
+}
+
+TEST(Algorithm1, InfeasibleThreshold) {
+  const auto pipe = pipeline::Pipeline({10.0}, {2.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(3, 2.0, 1.0, 0.3);
+  const Result r = fully_hom_min_fp_for_latency(pipe, plat, 1.0);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "infeasible");
+}
+
+TEST(Algorithm1, ExactThresholdAccepted) {
+  // The optimum sits exactly on the threshold: must not be rejected by
+  // floating-point fuzz.
+  const auto pipe = pipeline::Pipeline({3.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(4, 1.0, 1.0, 0.5);
+  // T(k) = k + 3 + 1; L = 8 admits exactly k = 4.
+  const Result r = fully_hom_min_fp_for_latency(pipe, plat, 8.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.processors_used(), 4u);
+}
+
+TEST(Algorithm1, PicksMostReliableUnderHeterogeneousFailures) {
+  const auto pipe = pipeline::Pipeline({2.0}, {1.0, 1.0});
+  const auto plat =
+      platform::make_fully_homogeneous_het_failures(1.0, 1.0, {0.9, 0.1, 0.5, 0.2});
+  // T(k) = k + 3; L = 5 admits k = 2: must pick processors 1 and 3.
+  const Result r = fully_hom_min_fp_for_latency(pipe, plat, 5.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.interval(0).processors, (std::vector<platform::ProcessorId>{1, 3}));
+  EXPECT_NEAR(r->failure_probability, 0.1 * 0.2, 1e-15);
+}
+
+TEST(Algorithm2, HandComputedMinimalReplication) {
+  const auto pipe = pipeline::Pipeline({10.0}, {2.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(6, 2.0, 1.0, 0.5);
+  // fp^k <= 0.2 needs k = 3 (0.125).
+  const Result r = fully_hom_min_latency_for_fp(pipe, plat, 0.2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.processors_used(), 3u);
+  EXPECT_DOUBLE_EQ(r->latency, 2.0 * 3.0 + 5.0 + 1.0);
+}
+
+TEST(Algorithm2, InfeasibleWhenAllProcessorsNotEnough) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.9);
+  const Result r = fully_hom_min_latency_for_fp(pipe, plat, 0.5);  // 0.81 > 0.5
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "infeasible");
+}
+
+TEST(Algorithm2, ZeroFailureProcessorsNeedOneReplica) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(4, 1.0, 1.0, 0.0);
+  const Result r = fully_hom_min_latency_for_fp(pipe, plat, 0.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->mapping.processors_used(), 1u);
+}
+
+// --- Property sweep: optimal vs exhaustive on random instances. -------------
+
+struct SweepCase {
+  std::uint64_t seed;
+  bool het_failures;
+};
+
+class FullyHomSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const auto& param = GetParam();
+    pipe_.emplace(gen::random_uniform_pipeline(3, param.seed));
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    plat_.emplace(param.het_failures
+                      ? gen::random_fully_hom_het_failures(options, param.seed * 101)
+                      : gen::random_fully_homogeneous(options, param.seed * 101));
+  }
+
+  std::optional<pipeline::Pipeline> pipe_;
+  std::optional<platform::Platform> plat_;
+};
+
+TEST_P(FullyHomSweep, Algorithm1MatchesExhaustive) {
+  const auto oracle_front = exhaustive_pareto(*pipe_, *plat_);
+  ASSERT_TRUE(oracle_front.has_value());
+  // Use each oracle front point's latency as a threshold: Algorithm 1 must
+  // reproduce the oracle's FP there.
+  for (const auto& point : oracle_front->front) {
+    const Result fast = fully_hom_min_fp_for_latency(*pipe_, *plat_, point.latency);
+    ASSERT_TRUE(fast.has_value()) << "threshold " << point.latency;
+    EXPECT_TRUE(util::approx_equal(fast->failure_probability, point.failure_probability) ||
+                fast->failure_probability < point.failure_probability)
+        << "L=" << point.latency << " alg=" << fast->failure_probability
+        << " oracle=" << point.failure_probability;
+  }
+}
+
+TEST_P(FullyHomSweep, Algorithm2MatchesExhaustive) {
+  const auto oracle_front = exhaustive_pareto(*pipe_, *plat_);
+  ASSERT_TRUE(oracle_front.has_value());
+  for (const auto& point : oracle_front->front) {
+    const Result fast = fully_hom_min_latency_for_fp(*pipe_, *plat_, point.failure_probability);
+    ASSERT_TRUE(fast.has_value()) << "threshold " << point.failure_probability;
+    EXPECT_TRUE(util::approx_equal(fast->latency, point.latency) ||
+                fast->latency < point.latency)
+        << "FP=" << point.failure_probability << " alg=" << fast->latency
+        << " oracle=" << point.latency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FullyHomSweep,
+    ::testing::Values(SweepCase{1, false}, SweepCase{2, false}, SweepCase{3, false},
+                      SweepCase{4, false}, SweepCase{1, true}, SweepCase{2, true},
+                      SweepCase{3, true}, SweepCase{4, true}, SweepCase{5, true},
+                      SweepCase{6, true}));
+
+TEST(AlgorithmsDeath, RequireFullyHomogeneousPlatform) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto het = platform::make_comm_homogeneous({1.0, 2.0}, 1.0, 0.1);
+  EXPECT_DEATH((void)fully_hom_min_fp_for_latency(pipe, het, 10.0), "Fully Homogeneous");
+  EXPECT_DEATH((void)fully_hom_min_latency_for_fp(pipe, het, 0.5), "Fully Homogeneous");
+}
+
+}  // namespace
+}  // namespace relap::algorithms

@@ -1,0 +1,138 @@
+// Tests for the gen module: determinism, parameter ranges, platform-class
+// guarantees, and the paper instances' exact numbers.
+
+#include <gtest/gtest.h>
+
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+
+namespace relap::gen {
+namespace {
+
+TEST(GenPipelines, DeterministicPerSeed) {
+  EXPECT_EQ(random_uniform_pipeline(6, 42), random_uniform_pipeline(6, 42));
+  EXPECT_NE(random_uniform_pipeline(6, 42), random_uniform_pipeline(6, 43));
+}
+
+TEST(GenPipelines, RangesRespected) {
+  const auto compute = compute_heavy_pipeline(20, 7);
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_GE(compute.work(k), 50.0);
+    EXPECT_LE(compute.work(k), 100.0);
+    EXPECT_LE(compute.data(k), 5.0);
+  }
+  const auto comm = comm_heavy_pipeline(20, 7);
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_LE(comm.work(k), 5.0);
+    EXPECT_GE(comm.data(k), 50.0);
+  }
+}
+
+TEST(GenPipelines, BimodalHasBothModes) {
+  const auto p = bimodal_pipeline(40, 11);
+  bool light = false;
+  bool heavy = false;
+  for (std::size_t k = 0; k < p.stage_count(); ++k) {
+    if (p.work(k) <= 5.0) light = true;
+    if (p.work(k) >= 80.0) heavy = true;
+  }
+  EXPECT_TRUE(light);
+  EXPECT_TRUE(heavy);
+}
+
+TEST(GenPipelines, JpegPresetShape) {
+  const auto p = jpeg_like_pipeline();
+  EXPECT_EQ(p.stage_count(), 7u);
+  // Entropy-coded output is the smallest boundary.
+  for (std::size_t k = 0; k < 7; ++k) EXPECT_GE(p.data(k), p.data(7));
+}
+
+TEST(GenPlatforms, ClassGuarantees) {
+  PlatformGenOptions options;
+  options.processors = 6;
+  EXPECT_EQ(random_fully_homogeneous(options, 1).comm_class(),
+            platform::CommClass::FullyHomogeneous);
+  EXPECT_EQ(random_fully_homogeneous(options, 1).failure_class(),
+            platform::FailureClass::Homogeneous);
+  EXPECT_EQ(random_fully_hom_het_failures(options, 2).comm_class(),
+            platform::CommClass::FullyHomogeneous);
+  EXPECT_EQ(random_fully_hom_het_failures(options, 2).failure_class(),
+            platform::FailureClass::Heterogeneous);
+  EXPECT_EQ(random_comm_homogeneous(options, 3).comm_class(),
+            platform::CommClass::CommHomogeneous);
+  EXPECT_EQ(random_comm_homogeneous(options, 3).failure_class(),
+            platform::FailureClass::Homogeneous);
+  EXPECT_EQ(random_comm_hom_het_failures(options, 4).comm_class(),
+            platform::CommClass::CommHomogeneous);
+  EXPECT_EQ(random_fully_heterogeneous(options, 5).comm_class(),
+            platform::CommClass::FullyHeterogeneous);
+}
+
+TEST(GenPlatforms, DeterministicPerSeed) {
+  PlatformGenOptions options;
+  options.processors = 4;
+  const auto a = random_fully_heterogeneous(options, 9);
+  const auto b = random_fully_heterogeneous(options, 9);
+  for (platform::ProcessorId u = 0; u < 4; ++u) {
+    EXPECT_DOUBLE_EQ(a.speed(u), b.speed(u));
+    EXPECT_DOUBLE_EQ(a.failure_prob(u), b.failure_prob(u));
+    EXPECT_DOUBLE_EQ(a.bandwidth_in(u), b.bandwidth_in(u));
+    for (platform::ProcessorId v = 0; v < 4; ++v) {
+      if (u != v) EXPECT_DOUBLE_EQ(a.bandwidth(u, v), b.bandwidth(u, v));
+    }
+  }
+}
+
+TEST(GenPlatforms, ReliableUnreliableMixShape) {
+  const auto p = random_reliable_unreliable_mix(2, 5, 13);
+  EXPECT_EQ(p.processor_count(), 7u);
+  EXPECT_TRUE(p.has_homogeneous_links());
+  for (platform::ProcessorId u = 0; u < 2; ++u) {
+    EXPECT_LE(p.speed(u), 2.0);
+    EXPECT_LE(p.failure_prob(u), 0.15);
+  }
+  for (platform::ProcessorId u = 2; u < 7; ++u) {
+    EXPECT_GE(p.speed(u), 50.0);
+    EXPECT_GE(p.failure_prob(u), 0.6);
+  }
+}
+
+TEST(PaperInstances, Fig3Fig4ExactNumbers) {
+  const auto pipe = fig3_pipeline();
+  EXPECT_EQ(pipe.stage_count(), 2u);
+  EXPECT_DOUBLE_EQ(pipe.work(0), 2.0);
+  EXPECT_DOUBLE_EQ(pipe.data(0), 100.0);
+
+  const auto plat = fig4_platform();
+  EXPECT_EQ(plat.processor_count(), 2u);
+  EXPECT_DOUBLE_EQ(plat.bandwidth_in(0), 100.0);
+  EXPECT_DOUBLE_EQ(plat.bandwidth_in(1), 1.0);
+  EXPECT_DOUBLE_EQ(plat.bandwidth_out(0), 1.0);
+  EXPECT_DOUBLE_EQ(plat.bandwidth_out(1), 100.0);
+  EXPECT_DOUBLE_EQ(plat.bandwidth(0, 1), 100.0);
+  EXPECT_EQ(plat.comm_class(), platform::CommClass::FullyHeterogeneous);
+}
+
+TEST(PaperInstances, Fig5ExactNumbers) {
+  const auto pipe = fig5_pipeline();
+  EXPECT_DOUBLE_EQ(pipe.work(0), 1.0);
+  EXPECT_DOUBLE_EQ(pipe.work(1), 100.0);
+  EXPECT_DOUBLE_EQ(pipe.data(0), 10.0);
+  EXPECT_DOUBLE_EQ(pipe.data(1), 1.0);
+  EXPECT_DOUBLE_EQ(pipe.data(2), 0.0);
+
+  const auto plat = fig5_platform();
+  EXPECT_EQ(plat.processor_count(), 11u);
+  EXPECT_DOUBLE_EQ(plat.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(plat.failure_prob(0), 0.1);
+  for (platform::ProcessorId u = 1; u <= 10; ++u) {
+    EXPECT_DOUBLE_EQ(plat.speed(u), 100.0);
+    EXPECT_DOUBLE_EQ(plat.failure_prob(u), 0.8);
+  }
+  EXPECT_EQ(plat.comm_class(), platform::CommClass::CommHomogeneous);
+  EXPECT_EQ(plat.failure_class(), platform::FailureClass::Heterogeneous);
+}
+
+}  // namespace
+}  // namespace relap::gen

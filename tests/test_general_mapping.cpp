@@ -1,0 +1,43 @@
+// Tests for mapping/general_mapping.hpp.
+
+#include "relap/mapping/general_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relap::mapping {
+namespace {
+
+TEST(GeneralMapping, Accessors) {
+  const GeneralMapping m({2, 0, 2});
+  EXPECT_EQ(m.stage_count(), 3u);
+  EXPECT_EQ(m.processor_of(0), 2u);
+  EXPECT_EQ(m.processor_of(1), 0u);
+  EXPECT_EQ(m.assignment(), (std::vector<platform::ProcessorId>{2, 0, 2}));
+}
+
+TEST(GeneralMapping, OneToOneDetection) {
+  EXPECT_TRUE(GeneralMapping({0, 1, 2}).is_one_to_one());
+  EXPECT_FALSE(GeneralMapping({0, 1, 0}).is_one_to_one());
+  EXPECT_TRUE(GeneralMapping({5}).is_one_to_one());
+}
+
+TEST(GeneralMapping, IntervalBasedDetection) {
+  EXPECT_TRUE(GeneralMapping({0, 0, 1, 1, 2}).is_interval_based());
+  EXPECT_TRUE(GeneralMapping({3}).is_interval_based());
+  EXPECT_TRUE(GeneralMapping({1, 1, 1}).is_interval_based());
+  // Processor 0 reappears after processor 1 took over: not interval-based.
+  EXPECT_FALSE(GeneralMapping({0, 1, 0}).is_interval_based());
+  EXPECT_FALSE(GeneralMapping({0, 1, 2, 1}).is_interval_based());
+}
+
+TEST(GeneralMapping, Describe) {
+  EXPECT_EQ(GeneralMapping({1, 0}).describe(), "S0->P1 S1->P0");
+}
+
+TEST(GeneralMappingDeath, RejectsEmpty) {
+  EXPECT_DEATH(GeneralMapping(std::vector<platform::ProcessorId>{}), "at least one stage");
+  EXPECT_DEATH((void)GeneralMapping({0}).processor_of(1), "out of range");
+}
+
+}  // namespace
+}  // namespace relap::mapping

@@ -1,0 +1,145 @@
+// Cross-module integration tests: generate -> serialize -> reload -> solve
+// -> simulate -> validate, end to end, on every platform class.
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/mono_criterion.hpp"
+#include "relap/algorithms/solve.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/io/instance_format.hpp"
+#include "relap/mapping/validate.hpp"
+#include "relap/sim/monte_carlo.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap {
+namespace {
+
+struct ClassCase {
+  std::uint64_t seed;
+  int platform_kind;  // 0 fully hom, 1 comm hom + fail hom, 2 comm het fp, 3 fully het
+};
+
+platform::Platform make_platform(const ClassCase& c) {
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  switch (c.platform_kind) {
+    case 0: return gen::random_fully_homogeneous(options, c.seed * 7919);
+    case 1: return gen::random_comm_homogeneous(options, c.seed * 7919);
+    case 2: return gen::random_comm_hom_het_failures(options, c.seed * 7919);
+    default: return gen::random_fully_heterogeneous(options, c.seed * 7919);
+  }
+}
+
+class EndToEnd : public ::testing::TestWithParam<ClassCase> {};
+
+TEST_P(EndToEnd, GenerateSerializeSolveSimulate) {
+  const ClassCase c = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(3, c.seed);
+  const auto plat = make_platform(c);
+
+  // Serialize and reload: the solver must see an identical instance.
+  const io::Instance original{pipe, plat};
+  const auto reloaded = io::parse_instance(io::format_instance(original));
+  ASSERT_TRUE(reloaded.has_value());
+
+  // Solve a mid-range threshold: halfway between the latency floor and the
+  // full-replication latency.
+  const auto everything = algorithms::minimize_failure_probability(pipe, plat);
+  const double threshold =
+      (mapping::latency_lower_bound(pipe, plat) + everything.latency) / 2.0;
+  const auto solved = algorithms::solve_min_fp_for_latency(reloaded->pipeline,
+                                                           reloaded->platform, threshold);
+  if (!solved.has_value()) {
+    ASSERT_EQ(solved.error().code, "infeasible");
+    return;  // legitimately infeasible threshold on this instance
+  }
+
+  // The mapping validates against the *original* instance too.
+  ASSERT_TRUE(mapping::validate(pipe, plat, solved->solution.mapping).has_value());
+  EXPECT_TRUE(algorithms::within_cap(solved->solution.latency, threshold));
+
+  // The analytic FP is confirmed by direct Monte Carlo.
+  sim::MonteCarloOptions mc;
+  mc.trials = 50'000;
+  mc.seed = c.seed;
+  const auto est = sim::estimate_failure_rate(plat, solved->solution.mapping, mc);
+  EXPECT_TRUE(est.consistent(0.01))
+      << "empirical " << est.empirical << " analytic " << est.analytic;
+
+  // The failure-free simulated latency never exceeds the worst-case bound.
+  const auto run = sim::simulate(pipe, plat, solved->solution.mapping,
+                                 sim::FailureScenario::none(plat.processor_count()), {});
+  ASSERT_TRUE(run.datasets[0].completed);
+  EXPECT_LE(run.datasets[0].latency(), solved->solution.latency + 1e-9);
+
+  // The worst-case simulated latency *equals* the claimed latency.
+  const auto worst = sim::FailureScenario::worst_case(pipe, plat, solved->solution.mapping);
+  sim::SimOptions sim_options;
+  sim_options.send_order = sim::SendOrder::WorstCaseLast;
+  const auto worst_run = sim::simulate(pipe, plat, solved->solution.mapping, worst, sim_options);
+  ASSERT_TRUE(worst_run.datasets[0].completed);
+  EXPECT_TRUE(util::approx_equal(worst_run.datasets[0].latency(), solved->solution.latency))
+      << "sim " << worst_run.datasets[0].latency() << " claimed " << solved->solution.latency;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, EndToEnd,
+    ::testing::Values(ClassCase{1, 0}, ClassCase{2, 0}, ClassCase{1, 1}, ClassCase{2, 1},
+                      ClassCase{1, 2}, ClassCase{2, 2}, ClassCase{3, 2}, ClassCase{1, 3},
+                      ClassCase{2, 3}, ClassCase{3, 3}));
+
+TEST(EndToEndPaper, Fig5FullStory) {
+  // The complete Figure 5 narrative, executed: exact solve under L = 22,
+  // the two-interval structure, FP < 0.2 confirmed by simulation.
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  algorithms::SolveOptions options;
+  options.exhaustive.max_evaluations = 100'000'000;
+  const auto solved = algorithms::solve_min_fp_for_latency(
+      pipe, plat, gen::fig5_latency_threshold(), options);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_TRUE(solved->exact);
+  EXPECT_EQ(solved->solution.mapping.interval_count(), 2u);
+  EXPECT_LT(solved->solution.failure_probability, 0.2);
+
+  sim::MonteCarloOptions mc;
+  mc.trials = 200'000;
+  const auto est = sim::estimate_failure_rate(plat, solved->solution.mapping, mc);
+  EXPECT_TRUE(est.consistent(0.005));
+
+  const auto worst = sim::FailureScenario::worst_case(pipe, plat, solved->solution.mapping);
+  sim::SimOptions sim_options;
+  sim_options.send_order = sim::SendOrder::WorstCaseLast;
+  const auto run = sim::simulate(pipe, plat, solved->solution.mapping, worst, sim_options);
+  ASSERT_TRUE(run.datasets[0].completed);
+  EXPECT_TRUE(util::approx_equal(run.datasets[0].latency(), 22.0));
+}
+
+TEST(EndToEndPaper, JpegPipelineOnWorkstationCluster) {
+  // The companion-report scenario [3]: the JPEG-like pipeline on a small
+  // heterogeneous workstation cluster; bi-criteria exploration must produce
+  // a monotone trade-off.
+  const auto pipe = gen::jpeg_like_pipeline();
+  const auto plat = gen::random_comm_hom_het_failures({.processors = 8}, 99);
+  algorithms::SolveOptions options;
+  options.method = algorithms::Method::Heuristic;
+
+  // The heuristic's pre-polish candidate pool is threshold-independent, so
+  // its best feasible FP is monotone in the budget; local-search polish can
+  // perturb that slightly, hence the 10% slack.
+  double previous_fp = 1.1;
+  const double floor = mapping::latency_lower_bound(pipe, plat);
+  for (const double factor : {1.5, 3.0, 6.0, 12.0}) {
+    const auto solved = algorithms::solve_min_fp_for_latency(pipe, plat, floor * factor, options);
+    if (!solved.has_value()) continue;
+    EXPECT_LE(solved->solution.failure_probability, previous_fp * 1.10 + 1e-12)
+        << "FP should not materially increase when the latency budget relaxes";
+    previous_fp = std::min(previous_fp, solved->solution.failure_probability);
+  }
+  EXPECT_LT(previous_fp, 1.0);  // at least one threshold was feasible
+}
+
+}  // namespace
+}  // namespace relap

@@ -1,0 +1,56 @@
+// Tests for io/csv.hpp.
+
+#include "relap/io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace relap::io {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_numeric_row({3.5, 4.0});
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3.5,4\n");
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+
+  CsvWriter csv({"name"});
+  csv.add_row({"hello, world"});
+  EXPECT_EQ(csv.str(), "name\n\"hello, world\"\n");
+}
+
+TEST(Csv, SaveWritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_numeric_row({1.25});
+  const std::string path = ::testing::TempDir() + "/relap_csv_test.csv";
+  ASSERT_TRUE(csv.save(path));
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "x\n1.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SaveFailsOnBadPath) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.save("/nonexistent/dir/file.csv"));
+}
+
+TEST(CsvDeath, RowWidthMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_DEATH(csv.add_row({"only-one"}), "width");
+}
+
+}  // namespace
+}  // namespace relap::io

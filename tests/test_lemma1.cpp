@@ -1,0 +1,115 @@
+// Lemma 1 as an executable property: on Fully Homogeneous platforms (any
+// failure probabilities) and on Communication Homogeneous + Failure
+// Homogeneous platforms, some single-interval mapping is Pareto-optimal at
+// every point of the exhaustive front — and the counterexample side: on
+// Communication Homogeneous + Failure Heterogeneous platforms (Figure 5) the
+// optimum can require two intervals.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+/// True iff every point of the exhaustive Pareto front is achieved (or
+/// dominated) by a single-interval mapping.
+bool single_interval_suffices(const pipeline::Pipeline& pipe, const platform::Platform& plat) {
+  const auto full = exhaustive_pareto(pipe, plat);
+  ExhaustiveOptions restricted;
+  restricted.max_intervals = 1;
+  const auto single = exhaustive_pareto(pipe, plat, restricted);
+  if (!full.has_value() || !single.has_value()) return false;
+
+  for (const auto& point : full->front) {
+    bool matched = false;
+    for (const auto& s : single->front) {
+      const bool no_worse_latency =
+          s.latency <= point.latency || util::approx_equal(s.latency, point.latency);
+      const bool no_worse_fp = s.failure_probability <= point.failure_probability ||
+                               util::approx_equal(s.failure_probability, point.failure_probability);
+      if (no_worse_latency && no_worse_fp) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+class Lemma1FullyHom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1FullyHom, SingleIntervalDominatesEvenWithHetFailures) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(3, seed);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  // The stronger form: Fully Homogeneous speeds/links, heterogeneous fps.
+  const auto plat = gen::random_fully_hom_het_failures(options, seed * 11);
+  EXPECT_TRUE(single_interval_suffices(pipe, plat)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1FullyHom, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class Lemma1CommHom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1CommHom, SingleIntervalDominatesWithHomFailures) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(3, seed);
+  gen::PlatformGenOptions options;
+  options.processors = 4;
+  const auto plat = gen::random_comm_homogeneous(options, seed * 13);
+  EXPECT_TRUE(single_interval_suffices(pipe, plat)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1CommHom, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Lemma1Boundary, Fig5NeedsTwoIntervals) {
+  // The paper's counterexample for Comm. Homogeneous + Failure
+  // Heterogeneous: under L = 22 the exhaustive optimum uses two intervals
+  // and strictly beats every single-interval mapping.
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+
+  ExhaustiveOptions options;
+  options.max_evaluations = 100'000'000;
+  const Result full = exhaustive_min_fp_for_latency(pipe, plat, gen::fig5_latency_threshold(),
+                                                    options);
+  ASSERT_TRUE(full.has_value()) << full.error().to_string();
+  EXPECT_EQ(full->mapping.interval_count(), 2u);
+  EXPECT_LT(full->failure_probability, 0.2);
+
+  ExhaustiveOptions restricted = options;
+  restricted.max_intervals = 1;
+  const Result single = exhaustive_min_fp_for_latency(pipe, plat, gen::fig5_latency_threshold(),
+                                                      restricted);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_NEAR(single->failure_probability, 0.64, 1e-12);
+  EXPECT_LT(full->failure_probability, single->failure_probability);
+}
+
+TEST(Lemma1Boundary, Fig5OptimumIsThePaperMapping) {
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  ExhaustiveOptions options;
+  options.max_evaluations = 100'000'000;
+  const Result full =
+      exhaustive_min_fp_for_latency(pipe, plat, gen::fig5_latency_threshold(), options);
+  ASSERT_TRUE(full.has_value());
+  const auto paper_mapping = gen::fig5_two_interval_mapping();
+  EXPECT_TRUE(util::approx_equal(full->failure_probability,
+                                 mapping::failure_probability(plat, paper_mapping)));
+  EXPECT_EQ(full->mapping, paper_mapping);
+}
+
+}  // namespace
+}  // namespace relap::algorithms

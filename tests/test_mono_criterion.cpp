@@ -1,0 +1,96 @@
+// Tests for algorithms/mono_criterion.hpp — Theorems 1 and 2 as executable
+// claims, cross-checked against exhaustive enumeration on small instances.
+
+#include "relap/algorithms/mono_criterion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(Theorem1, FullReplicationSingleInterval) {
+  const auto pipe = gen::random_uniform_pipeline(3, 1);
+  const auto plat = gen::random_comm_hom_het_failures({.processors = 4}, 2);
+  const Solution s = minimize_failure_probability(pipe, plat);
+  EXPECT_EQ(s.mapping.interval_count(), 1u);
+  EXPECT_EQ(s.mapping.processors_used(), 4u);
+}
+
+class Theorem1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Property, MatchesExhaustiveMinimumOnAllClasses) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(3, seed);
+  const std::vector<platform::Platform> platforms = {
+      gen::random_fully_homogeneous({.processors = 4}, seed),
+      gen::random_comm_hom_het_failures({.processors = 4}, seed),
+      gen::random_fully_heterogeneous({.processors = 4}, seed),
+  };
+  for (const auto& plat : platforms) {
+    const Solution claimed = minimize_failure_probability(pipe, plat);
+    const auto oracle = exhaustive_pareto(pipe, plat);
+    ASSERT_TRUE(oracle.has_value());
+    double best_fp = 1.0;
+    for (const auto& p : oracle->front) best_fp = std::min(best_fp, p.failure_probability);
+    EXPECT_TRUE(util::approx_equal(claimed.failure_probability, best_fp) ||
+                claimed.failure_probability <= best_fp)
+        << "claimed " << claimed.failure_probability << " oracle " << best_fp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Theorem2, FastestProcessorSingleInterval) {
+  const auto pipe = gen::random_uniform_pipeline(4, 3);
+  const auto plat = gen::random_comm_homogeneous({.processors = 5}, 4);
+  const Solution s = minimize_latency_comm_hom(pipe, plat);
+  EXPECT_EQ(s.mapping.interval_count(), 1u);
+  EXPECT_EQ(s.mapping.processors_used(), 1u);
+  EXPECT_EQ(s.mapping.interval(0).processors.front(), plat.fastest_processor());
+}
+
+class Theorem2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2Property, MatchesExhaustiveMinimumLatency) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(3, seed);
+  const auto plat = gen::random_comm_hom_het_failures({.processors = 4}, seed * 7);
+  const Solution claimed = minimize_latency_comm_hom(pipe, plat);
+  const auto oracle = exhaustive_pareto(pipe, plat);
+  ASSERT_TRUE(oracle.has_value());
+  double best_latency = oracle->front.front().latency;  // front sorted by latency
+  EXPECT_TRUE(util::approx_equal(claimed.latency, best_latency))
+      << "claimed " << claimed.latency << " oracle " << best_latency;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2Property, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Theorem2, SingleProcessorBeatsSplitsOnCommHom) {
+  // The motivating claim: with identical links, splitting only adds
+  // transfer costs.
+  const auto pipe = gen::comm_heavy_pipeline(4, 5);
+  const auto plat = gen::random_comm_homogeneous({.processors = 4}, 6);
+  const Solution s = minimize_latency_comm_hom(pipe, plat);
+  const double split_latency = mapping::latency(
+      pipe, plat, mapping::IntervalMapping({{{0, 1}, {0}}, {{2, 3}, {1}}}));
+  EXPECT_LE(s.latency, split_latency + 1e-9);
+}
+
+TEST(Theorem2, SplitWinsOnFullyHeterogeneous) {
+  // ... but NOT with heterogeneous links: the Figure 3/4 example.
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  const double single = mapping::latency(pipe, plat, gen::fig4_single_mapping());
+  const double split = mapping::latency(pipe, plat, gen::fig4_split_mapping());
+  EXPECT_DOUBLE_EQ(single, 105.0);
+  EXPECT_DOUBLE_EQ(split, 7.0);
+}
+
+}  // namespace
+}  // namespace relap::algorithms

@@ -1,0 +1,98 @@
+// Tests for algorithms/one_to_one_exact.hpp — the Held-Karp solver for the
+// NP-hard one-to-one latency problem (Theorem 3), cross-checked against
+// brute-force injection enumeration.
+
+#include "relap/algorithms/one_to_one_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/validate.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(OneToOne, Fig4SplitIsTheOptimum) {
+  const auto pipe = gen::fig3_pipeline();
+  const auto plat = gen::fig4_platform();
+  const GeneralResult r = one_to_one_min_latency(pipe, plat);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->latency, 7.0);
+  EXPECT_EQ(r->mapping.assignment(), (std::vector<platform::ProcessorId>{0, 1}));
+}
+
+TEST(OneToOne, InfeasibleWhenMoreStagesThanProcessors) {
+  const auto pipe = pipeline::Pipeline({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.1);
+  const GeneralResult r = one_to_one_min_latency(pipe, plat);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "infeasible");
+}
+
+TEST(OneToOne, BudgetRefusal) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(8, 1.0, 1.0, 0.1);
+  OneToOneOptions options;
+  options.max_processors = 4;
+  const GeneralResult r = one_to_one_min_latency(pipe, plat, options);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "budget");
+}
+
+TEST(OneToOne, ResultIsAlwaysValidOneToOne) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(4, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 6;
+    const auto plat = gen::random_fully_heterogeneous(options, seed * 59);
+    const GeneralResult r = one_to_one_min_latency(pipe, plat);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(mapping::validate_one_to_one(pipe, plat, r->mapping).has_value());
+    EXPECT_TRUE(util::approx_equal(r->latency, mapping::latency(pipe, plat, r->mapping)));
+  }
+}
+
+class HeldKarpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeldKarpSweep, MatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(4, seed);
+  gen::PlatformGenOptions options;
+  options.processors = 6;
+  const auto plat = gen::random_fully_heterogeneous(options, seed * 67);
+
+  const GeneralResult fast = one_to_one_min_latency(pipe, plat);
+  const GeneralResult brute = exhaustive_one_to_one_min_latency(pipe, plat);
+  ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_TRUE(util::approx_equal(fast->latency, brute->latency))
+      << "held-karp=" << fast->latency << " brute=" << brute->latency;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeldKarpSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(OneToOne, NeverBeatsGeneralMappings) {
+  // One-to-one is a restriction of general mappings, so its optimum is no
+  // better than the Theorem 4 shortest path.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 5;
+    const auto plat = gen::random_fully_heterogeneous(options, seed * 83);
+    const GeneralResult o2o = one_to_one_min_latency(pipe, plat);
+    const GeneralResult general = exhaustive_general_min_latency(pipe, plat);
+    ASSERT_TRUE(o2o.has_value());
+    ASSERT_TRUE(general.has_value());
+    EXPECT_GE(o2o->latency, general->latency - 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace relap::algorithms

@@ -1,0 +1,94 @@
+// Tests for algorithms/pareto_driver.hpp: threshold sweeps produce sane
+// fronts and the front-comparison metric behaves.
+
+#include "relap/algorithms/pareto_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/single_interval.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(ParetoDriver, SweepProducesSortedNonDominatedFront) {
+  const auto pipe = gen::random_uniform_pipeline(3, 41);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const auto plat = gen::random_comm_hom_het_failures(options, 42);
+
+  const auto front = sweep_latency_thresholds(
+      pipe, plat,
+      [&](double cap) { return single_interval_min_fp_for_latency(pipe, plat, cap); });
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LT(front[i - 1].latency, front[i].latency);
+    EXPECT_GT(front[i - 1].failure_probability, front[i].failure_probability);
+  }
+}
+
+TEST(ParetoDriver, HeuristicFrontCoversFig5Optimum) {
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  const auto front = heuristic_pareto_front(pipe, plat);
+  ASSERT_FALSE(front.empty());
+  // Some front point must reach the paper's two-interval quality at L <= 22.
+  bool found = false;
+  for (const auto& p : front) {
+    if (p.latency <= 22.0 + 1e-9 && p.failure_probability < 0.2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParetoDriver, HeuristicFrontNearExhaustiveOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 4;
+    const auto plat = gen::random_comm_hom_het_failures(options, seed * 907);
+    const auto heuristic = heuristic_pareto_front(pipe, plat);
+    const auto oracle = exhaustive_pareto(pipe, plat);
+    ASSERT_TRUE(oracle.has_value());
+    const double ratio = front_fp_ratio(heuristic, oracle->front);
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, 1.6) << "seed " << seed;
+  }
+}
+
+TEST(FrontFpRatio, PerfectMatchIsOne) {
+  const auto pipe = gen::random_uniform_pipeline(2, 51);
+  gen::PlatformGenOptions options;
+  options.processors = 3;
+  const auto plat = gen::random_comm_hom_het_failures(options, 52);
+  const auto oracle = exhaustive_pareto(pipe, plat);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_NEAR(front_fp_ratio(oracle->front, oracle->front), 1.0, 1e-9);
+}
+
+TEST(FrontFpRatio, MissPenaltyAppliesWhenLatencyUnreachable) {
+  std::vector<ParetoSolution> reference;
+  reference.push_back(
+      {1.0, 0.5, mapping::IntervalMapping::single_interval(1, {0})});
+  std::vector<ParetoSolution> achieved;
+  achieved.push_back(
+      {2.0, 0.25, mapping::IntervalMapping::single_interval(1, {0})});  // too slow
+  EXPECT_DOUBLE_EQ(front_fp_ratio(achieved, reference, 10.0), 10.0);
+}
+
+TEST(FrontFpRatio, RatioAveragesAcrossPoints) {
+  using mapping::IntervalMapping;
+  std::vector<ParetoSolution> reference;
+  reference.push_back({1.0, 0.1, IntervalMapping::single_interval(1, {0})});
+  reference.push_back({2.0, 0.05, IntervalMapping::single_interval(1, {0})});
+  std::vector<ParetoSolution> achieved;
+  achieved.push_back({1.0, 0.2, IntervalMapping::single_interval(1, {0})});   // 2x worse
+  achieved.push_back({2.0, 0.05, IntervalMapping::single_interval(1, {0})});  // exact
+  EXPECT_NEAR(front_fp_ratio(achieved, reference), 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace relap::algorithms

@@ -1,0 +1,117 @@
+// Tests for reductions/partition.hpp — Theorem 7's reduction from
+// 2-PARTITION, both directions, plus the pseudo-polynomial source solver.
+
+#include "relap/reductions/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/types.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/reliability.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::reductions {
+namespace {
+
+TEST(SubsetSum, KnownInstances) {
+  EXPECT_TRUE(has_equal_partition({{1, 1}}));
+  EXPECT_TRUE(has_equal_partition({{3, 1, 1, 2, 2, 1}}));  // sum 10, half 5
+  EXPECT_FALSE(has_equal_partition({{1, 2}}));             // odd sum
+  EXPECT_FALSE(has_equal_partition({{2}}));
+  EXPECT_FALSE(has_equal_partition({{1, 1, 1, 1, 6}}));  // half=5 unreachable
+  EXPECT_TRUE(has_equal_partition({{4, 5, 6, 7, 8}}));   // 15 = 7+8 = 4+5+6
+}
+
+TEST(SubsetSum, WitnessSumsToHalf) {
+  const PartitionInstance instance{{3, 1, 1, 2, 2, 1}};
+  const auto witness = equal_partition_witness(instance);
+  ASSERT_FALSE(witness.empty());
+  std::uint64_t sum = 0;
+  for (const std::size_t i : witness) sum += instance.values[i];
+  EXPECT_EQ(sum, instance.sum() / 2);
+  // Indices are distinct.
+  for (std::size_t i = 1; i < witness.size(); ++i) EXPECT_NE(witness[i - 1], witness[i]);
+}
+
+TEST(PartitionReduction, InstanceShapeMatchesTheorem7) {
+  const PartitionInstance instance{{1, 2, 3}};
+  const PartitionReduction reduced = partition_to_bicriteria(instance);
+  EXPECT_EQ(reduced.pipeline.stage_count(), 1u);
+  EXPECT_DOUBLE_EQ(reduced.pipeline.work(0), 1.0);
+  EXPECT_EQ(reduced.platform.processor_count(), 3u);
+  EXPECT_DOUBLE_EQ(reduced.latency_threshold, 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(reduced.fp_threshold, std::exp(-3.0));
+  EXPECT_DOUBLE_EQ(reduced.platform.failure_prob(2), std::exp(-3.0));
+  EXPECT_DOUBLE_EQ(reduced.platform.bandwidth_in(1), 0.5);
+  EXPECT_DOUBLE_EQ(reduced.platform.bandwidth_out(1), 1.0);
+}
+
+TEST(PartitionReduction, SubsetLatencyAndFpAreTheSums) {
+  // For any replication set I: latency = sum a_i + 2, FP = exp(-sum a_i).
+  const PartitionInstance instance{{2, 3, 5, 7}};
+  const PartitionReduction reduced = partition_to_bicriteria(instance);
+  const mapping::IntervalMapping on_subset =
+      mapping::IntervalMapping::single_interval(1, {0, 2});  // a = 2 + 5
+  EXPECT_TRUE(util::approx_equal(
+      mapping::latency(reduced.pipeline, reduced.platform, on_subset), 7.0 + 2.0));
+  EXPECT_TRUE(util::approx_equal(
+      mapping::failure_probability(reduced.platform, on_subset), std::exp(-7.0)));
+}
+
+class PartitionRoundTrip : public ::testing::TestWithParam<std::vector<std::uint64_t>> {};
+
+TEST_P(PartitionRoundTrip, FeasibleIffPartitionExists) {
+  const PartitionInstance instance{GetParam()};
+  const PartitionReduction reduced = partition_to_bicriteria(instance);
+  const bool partition_exists = has_equal_partition(instance);
+
+  // Decision: is there a mapping with latency <= L and FP <= F? Search the
+  // exact Pareto front for a point satisfying both.
+  const auto outcome = algorithms::exhaustive_pareto(reduced.pipeline, reduced.platform);
+  ASSERT_TRUE(outcome.has_value());
+  bool feasible = false;
+  for (const auto& p : outcome->front) {
+    if (algorithms::within_cap(p.latency, reduced.latency_threshold) &&
+        algorithms::within_cap(p.failure_probability, reduced.fp_threshold)) {
+      feasible = true;
+    }
+  }
+  EXPECT_EQ(feasible, partition_exists);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, PartitionRoundTrip,
+    ::testing::Values(std::vector<std::uint64_t>{1, 1},                   // yes
+                      std::vector<std::uint64_t>{1, 2},                   // no (odd)
+                      std::vector<std::uint64_t>{3, 1, 1, 2, 2, 1},       // yes
+                      std::vector<std::uint64_t>{1, 1, 1, 1, 6},          // no
+                      std::vector<std::uint64_t>{4, 5, 6, 7},             // yes: 4+7=5+6
+                      std::vector<std::uint64_t>{2, 2, 2, 2, 2, 2},       // yes
+                      std::vector<std::uint64_t>{10, 1, 1, 1},            // no
+                      std::vector<std::uint64_t>{8, 7, 6, 5, 4, 3, 2, 1}  // yes (sum 36)
+                      ));
+
+TEST(PartitionRoundTrip, WitnessMapsToFeasibleMapping) {
+  const PartitionInstance instance{{3, 1, 1, 2, 2, 1}};
+  const auto witness = equal_partition_witness(instance);
+  ASSERT_FALSE(witness.empty());
+  const PartitionReduction reduced = partition_to_bicriteria(instance);
+  const mapping::IntervalMapping mapped = mapping::IntervalMapping::single_interval(
+      1, std::vector<platform::ProcessorId>(witness.begin(), witness.end()));
+  EXPECT_TRUE(algorithms::within_cap(
+      mapping::latency(reduced.pipeline, reduced.platform, mapped), reduced.latency_threshold));
+  EXPECT_TRUE(algorithms::within_cap(
+      mapping::failure_probability(reduced.platform, mapped), reduced.fp_threshold));
+  // And back: the subset recovered from the mapping sums to S/2.
+  const auto subset = mapping_to_subset(mapped);
+  std::uint64_t sum = 0;
+  for (const std::size_t i : subset) sum += instance.values[i];
+  EXPECT_EQ(sum, instance.sum() / 2);
+}
+
+}  // namespace
+}  // namespace relap::reductions

@@ -1,0 +1,151 @@
+// Tests for reductions/tsp.hpp — Theorem 3's reduction, exercised in both
+// directions: Hamiltonian-path cost maps exactly to mapping latency, and the
+// exact solvers on both sides agree through the reduction.
+
+#include "relap/reductions/tsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relap/algorithms/one_to_one_exact.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/util/rng.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::reductions {
+namespace {
+
+TspInstance random_instance(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TspInstance instance;
+  instance.cost.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) instance.cost[i][j] = std::floor(rng.uniform(1.0, 20.0));
+    }
+  }
+  instance.source = 0;
+  instance.tail = n - 1;
+  instance.bound = 0.0;  // set by each test
+  return instance;
+}
+
+TEST(TspReduction, InstanceShapeMatchesTheorem3) {
+  TspInstance tsp = random_instance(4, 1);
+  tsp.bound = 30.0;
+  const TspReduction reduced = tsp_to_one_to_one(tsp);
+  EXPECT_EQ(reduced.pipeline.stage_count(), 4u);
+  EXPECT_EQ(reduced.platform.processor_count(), 4u);
+  EXPECT_DOUBLE_EQ(reduced.latency_threshold, 30.0 + 4.0 + 2.0);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(reduced.pipeline.work(k), 1.0);
+    EXPECT_DOUBLE_EQ(reduced.platform.speed(k), 1.0);
+  }
+  // P_in reaches only the source at bandwidth 1; others are "very slow".
+  EXPECT_DOUBLE_EQ(reduced.platform.bandwidth_in(0), 1.0);
+  EXPECT_LT(reduced.platform.bandwidth_in(1), 1.0 / (tsp.bound + 4.0 + 3.0));
+  EXPECT_DOUBLE_EQ(reduced.platform.bandwidth_out(3), 1.0);
+}
+
+TEST(TspReduction, PathCostMapsExactlyToLatency) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    TspInstance tsp = random_instance(5, seed);
+    tsp.bound = 100.0;
+    const TspReduction reduced = tsp_to_one_to_one(tsp);
+
+    // Any Hamiltonian s->t path: its mapping latency is cost + n + 2.
+    std::vector<std::size_t> path{0, 1, 2, 3, 4};
+    const double cost = path_cost(tsp, path);
+    const mapping::GeneralMapping as_mapping{
+        std::vector<platform::ProcessorId>(path.begin(), path.end())};
+    const double lat = mapping::latency(reduced.pipeline, reduced.platform, as_mapping);
+    EXPECT_TRUE(util::approx_equal(lat, expected_latency_for_path_cost(tsp, cost)))
+        << "seed " << seed << ": latency " << lat << " vs cost-derived "
+        << expected_latency_for_path_cost(tsp, cost);
+  }
+}
+
+TEST(HeldKarp, TinyTriangle) {
+  TspInstance tsp;
+  tsp.cost = {{0, 1, 10}, {1, 0, 2}, {10, 2, 0}};
+  tsp.source = 0;
+  tsp.tail = 2;
+  const auto path = held_karp_path(tsp);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(path_cost(tsp, *path), 3.0);
+}
+
+TEST(HeldKarp, BudgetRefusal) {
+  TspInstance tsp = random_instance(21, 3);
+  const auto r = held_karp_path(tsp);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, "budget");
+}
+
+class TspRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TspRoundTrip, SolversAgreeThroughTheReduction) {
+  const std::uint64_t seed = GetParam();
+  TspInstance tsp = random_instance(5, seed);
+  tsp.bound = 1000.0;  // generous: decision always "yes"
+  const TspReduction reduced = tsp_to_one_to_one(tsp);
+
+  const auto best_path = held_karp_path(tsp);
+  ASSERT_TRUE(best_path.has_value());
+  const double best_cost = path_cost(tsp, *best_path);
+
+  const auto best_mapping =
+      algorithms::one_to_one_min_latency(reduced.pipeline, reduced.platform);
+  ASSERT_TRUE(best_mapping.has_value());
+
+  // The optimal mapping's latency equals the optimal path cost + n + 2...
+  EXPECT_TRUE(util::approx_equal(best_mapping->latency,
+                                 expected_latency_for_path_cost(tsp, best_cost)))
+      << "mapping " << best_mapping->latency << " path-cost " << best_cost;
+  // ... and the mapping itself traverses a Hamiltonian source->tail path of
+  // that exact cost.
+  const std::vector<std::size_t> recovered = mapping_to_path(best_mapping->mapping);
+  EXPECT_EQ(recovered.front(), tsp.source);
+  EXPECT_EQ(recovered.back(), tsp.tail);
+  EXPECT_TRUE(util::approx_equal(path_cost(tsp, recovered), best_cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TspRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TspReduction, DecisionThresholdSeparatesYesFromNo) {
+  // A 4-vertex instance with known optimal path cost: bound just below the
+  // optimum makes the latency threshold unreachable, bound at the optimum
+  // makes it reachable exactly.
+  TspInstance tsp;
+  tsp.cost = {{0, 2, 9, 9}, {2, 0, 3, 9}, {9, 3, 0, 4}, {9, 9, 4, 0}};
+  tsp.source = 0;
+  tsp.tail = 3;
+  const auto best = held_karp_path(tsp);
+  ASSERT_TRUE(best.has_value());
+  const double optimal_cost = path_cost(tsp, *best);  // 2 + 3 + 4 = 9
+
+  tsp.bound = optimal_cost;
+  const TspReduction yes = tsp_to_one_to_one(tsp);
+  const auto yes_mapping = algorithms::one_to_one_min_latency(yes.pipeline, yes.platform);
+  ASSERT_TRUE(yes_mapping.has_value());
+  EXPECT_LE(yes_mapping->latency, yes.latency_threshold + 1e-9);
+
+  tsp.bound = optimal_cost - 1.0;
+  const TspReduction no = tsp_to_one_to_one(tsp);
+  const auto no_mapping = algorithms::one_to_one_min_latency(no.pipeline, no.platform);
+  ASSERT_TRUE(no_mapping.has_value());
+  EXPECT_GT(no_mapping->latency, no.latency_threshold + 1e-9);
+}
+
+TEST(TspReductionDeath, MalformedInstances) {
+  TspInstance bad;
+  bad.cost = {{0.0}};
+  bad.source = 0;
+  bad.tail = 0;
+  EXPECT_DEATH((void)tsp_to_one_to_one(bad), "two vertices");
+}
+
+}  // namespace
+}  // namespace relap::reductions

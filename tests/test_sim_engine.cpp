@@ -1,0 +1,223 @@
+// Tests for sim/engine.hpp: hand-traced schedules, one-port serialization,
+// failure semantics, and the headline property — under the worst-case
+// failure scenario the simulated latency reproduces Equations (1)/(2)
+// exactly.
+
+#include "relap/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::sim {
+namespace {
+
+TEST(SimEngine, SingleProcessorFailureFreeTrace) {
+  const auto pipe = pipeline::Pipeline({4.0}, {2.0, 6.0});
+  const auto plat = platform::make_fully_homogeneous(1, 2.0, 2.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+
+  Trace trace;
+  SimOptions options;
+  options.trace = &trace;
+  const SimResult r = simulate(pipe, plat, m, FailureScenario::none(1), options);
+
+  ASSERT_EQ(r.datasets.size(), 1u);
+  EXPECT_TRUE(r.datasets[0].completed);
+  // receive [0,1], compute [1,3], send [3,6].
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 6.0);
+  EXPECT_DOUBLE_EQ(r.datasets[0].latency(), 6.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.ops()[0].kind, OpKind::Transfer);
+  EXPECT_DOUBLE_EQ(trace.ops()[0].end, 1.0);
+  EXPECT_EQ(trace.ops()[1].kind, OpKind::Compute);
+  EXPECT_DOUBLE_EQ(trace.ops()[1].end, 3.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[2].end, 6.0);
+}
+
+TEST(SimEngine, ReplicatedReceivesAreSerialized) {
+  const auto pipe = pipeline::Pipeline({1.0}, {3.0, 0.0});
+  const auto plat = platform::make_fully_homogeneous(3, 1.0, 1.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0, 1, 2});
+
+  Trace trace;
+  SimOptions options;
+  options.trace = &trace;
+  const SimResult r = simulate(pipe, plat, m, FailureScenario::none(3), options);
+  EXPECT_TRUE(r.datasets[0].completed);
+  // P_in sends 3 serialized copies of size 3: [0,3], [3,6], [6,9].
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.ops()[0].end, 3.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[1].start, 3.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[1].end, 6.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[2].start, 6.0);
+  EXPECT_DOUBLE_EQ(trace.ops()[2].end, 9.0);
+  // Failure-free: the earliest-receiving replica finishes first and sends.
+  // Replica 0 computes [3, 4]; output is size 0 so completion is 4.
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 4.0);
+}
+
+TEST(SimEngine, DeadReplicaSkippedForFree) {
+  const auto pipe = pipeline::Pipeline({1.0}, {3.0, 0.0});
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.5);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0, 1});
+  // Processor 0 dead from the start: consensus skips it; only one transfer.
+  FailureScenario scenario = FailureScenario::none(2);
+  scenario.failure_time[0] = 0.0;
+
+  Trace trace;
+  SimOptions options;
+  options.trace = &trace;
+  const SimResult r = simulate(pipe, plat, m, scenario, options);
+  EXPECT_TRUE(r.datasets[0].completed);
+  ASSERT_EQ(trace.size(), 3u);  // one receive, one compute, one final send
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 4.0);
+}
+
+TEST(SimEngine, AllReplicasDeadFailsTheDataset) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.5);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0, 1});
+  FailureScenario scenario = FailureScenario::none(2);
+  scenario.failure_time[0] = 0.0;
+  scenario.failure_time[1] = 0.0;
+  const SimResult r = simulate(pipe, plat, m, scenario, {});
+  EXPECT_FALSE(r.datasets[0].completed);
+  EXPECT_TRUE(r.application_failed);
+  EXPECT_TRUE(std::isinf(r.datasets[0].completion_time));
+}
+
+TEST(SimEngine, FailAfterReceivePaysTheTransferButNotTheCompute) {
+  const auto pipe = pipeline::Pipeline({10.0}, {3.0, 0.0});
+  const auto plat = platform::make_comm_homogeneous({1.0, 2.0}, 1.0, 0.5);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0, 1});
+  // Replica 0 (slow) receives first and dies right after: replica 1 must
+  // still wait behind 0's serialized transfer.
+  FailureScenario scenario = FailureScenario::none(2);
+  scenario.fail_after_first_receive[0] = true;
+
+  Trace trace;
+  SimOptions options;
+  options.trace = &trace;
+  const SimResult r = simulate(pipe, plat, m, scenario, options);
+  EXPECT_TRUE(r.datasets[0].completed);
+  // Transfers [0,3] to dead-to-be 0 and [3,6] to 1; compute on 1: [6, 11].
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 11.0);
+  // Replica 0's compute must be recorded as failed or not at all.
+  for (const TraceOp& op : trace.ops()) {
+    if (op.kind == OpKind::Compute && op.subject == 0) EXPECT_FALSE(op.completed);
+  }
+}
+
+TEST(SimEngine, MidComputeDeathLosesTheResult) {
+  const auto pipe = pipeline::Pipeline({10.0}, {1.0, 0.0});
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.5);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0, 1});
+  FailureScenario scenario = FailureScenario::none(2);
+  scenario.failure_time[0] = 5.0;  // dies mid-compute (compute is [1, 11])
+  const SimResult r = simulate(pipe, plat, m, scenario, {});
+  EXPECT_TRUE(r.datasets[0].completed);
+  // Replica 1 received at [1,2], computes [2,12], sends nothing (size 0).
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 12.0);
+}
+
+// --- The headline validation: worst case reproduces the equations. ----------
+
+class WorstCaseMatchesEq1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorstCaseMatchesEq1, OnCommHomogeneousPlatforms) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(4, seed);
+  gen::PlatformGenOptions options;
+  options.processors = 6;
+  const auto plat = gen::random_comm_hom_het_failures(options, seed * 1009);
+  const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 3}, {1, 2, 4}}});
+
+  const FailureScenario scenario = FailureScenario::worst_case(pipe, plat, m);
+  SimOptions sim_options;
+  sim_options.send_order = SendOrder::WorstCaseLast;
+  const SimResult r = simulate(pipe, plat, m, scenario, sim_options);
+  ASSERT_TRUE(r.datasets[0].completed);
+  EXPECT_TRUE(util::approx_equal(r.datasets[0].latency(),
+                                 mapping::latency_eq1(pipe, plat, m)))
+      << "sim " << r.datasets[0].latency() << " eq1 " << mapping::latency_eq1(pipe, plat, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorstCaseMatchesEq1,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class WorstCaseMatchesEq2 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorstCaseMatchesEq2, OnFullyHeterogeneousPlatforms) {
+  const std::uint64_t seed = GetParam();
+  const auto pipe = gen::random_uniform_pipeline(4, seed);
+  gen::PlatformGenOptions options;
+  options.processors = 6;
+  const auto plat = gen::random_fully_heterogeneous(options, seed * 2003);
+  const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 3}, {1, 2, 4}}});
+
+  const FailureScenario scenario = FailureScenario::worst_case(pipe, plat, m);
+  SimOptions sim_options;
+  sim_options.send_order = SendOrder::WorstCaseLast;
+  const SimResult r = simulate(pipe, plat, m, scenario, sim_options);
+  ASSERT_TRUE(r.datasets[0].completed);
+  const double eq2 = mapping::latency_eq2(pipe, plat, m);
+  EXPECT_TRUE(util::approx_equal(r.datasets[0].latency(), eq2))
+      << "sim " << r.datasets[0].latency() << " eq2 " << eq2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorstCaseMatchesEq2,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SimEngine, FailureFreeLatencyNeverExceedsWorstCase) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto pipe = gen::random_uniform_pipeline(3, seed);
+    gen::PlatformGenOptions options;
+    options.processors = 5;
+    const auto plat = gen::random_fully_heterogeneous(options, seed * 3001);
+    const mapping::IntervalMapping m({{{0, 0}, {0, 1}}, {{1, 2}, {2, 3}}});
+    const SimResult free_run = simulate(pipe, plat, m, FailureScenario::none(5), {});
+    ASSERT_TRUE(free_run.datasets[0].completed);
+    EXPECT_LE(free_run.datasets[0].latency(),
+              mapping::latency_eq2(pipe, plat, m) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimEngine, PipelinedDatasetsReuseResources) {
+  const auto pipe = pipeline::Pipeline({2.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+  SimOptions options;
+  options.dataset_count = 3;
+  const SimResult r = simulate(pipe, plat, m, FailureScenario::none(1), options);
+  ASSERT_EQ(r.datasets.size(), 3u);
+  // Single processor, cycle = 1 (receive) + 2 (compute) + 1 (send) = 4 with
+  // no overlap within one processor; dataset d completes at 4(d+1).
+  EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 4.0);
+  EXPECT_DOUBLE_EQ(r.datasets[1].completion_time, 8.0);
+  EXPECT_DOUBLE_EQ(r.datasets[2].completion_time, 12.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 12.0);
+}
+
+TEST(SimEngine, WorstLatencyHelper) {
+  const auto pipe = pipeline::Pipeline({1.0}, {1.0, 1.0});
+  const auto plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+  SimOptions options;
+  options.dataset_count = 2;
+  const SimResult r = simulate(pipe, plat, m, FailureScenario::none(1), options);
+  EXPECT_EQ(r.completed_count(), 2u);
+  EXPECT_GT(r.worst_latency(), 0.0);
+}
+
+}  // namespace
+}  // namespace relap::sim

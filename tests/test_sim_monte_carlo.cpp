@@ -1,0 +1,115 @@
+// Tests for sim/monte_carlo.hpp: the empirical failure frequency matches the
+// analytic FP formula within confidence bounds, across mapping shapes.
+
+#include "relap/sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/mapping/latency.hpp"
+
+namespace relap::sim {
+namespace {
+
+TEST(MonteCarlo, SingleProcessorMatchesItsFp) {
+  const auto plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 0.3);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+  MonteCarloOptions options;
+  options.trials = 200'000;
+  const FailureRateEstimate est = estimate_failure_rate(plat, m, options);
+  EXPECT_NEAR(est.analytic, 0.3, 1e-12);
+  EXPECT_TRUE(est.consistent(0.005)) << est.empirical << " vs " << est.analytic;
+}
+
+TEST(MonteCarlo, ReplicationShrinkFailureRate) {
+  const auto plat = platform::make_fully_homogeneous(3, 1.0, 1.0, 0.5);
+  MonteCarloOptions options;
+  options.trials = 200'000;
+  const auto single = estimate_failure_rate(
+      plat, mapping::IntervalMapping::single_interval(2, {0}), options);
+  const auto replicated = estimate_failure_rate(
+      plat, mapping::IntervalMapping::single_interval(2, {0, 1, 2}), options);
+  EXPECT_TRUE(single.consistent(0.005));
+  EXPECT_TRUE(replicated.consistent(0.005));
+  EXPECT_LT(replicated.empirical, single.empirical);
+  EXPECT_NEAR(replicated.analytic, 0.125, 1e-12);
+}
+
+class MonteCarloSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonteCarloSweep, EmpiricalMatchesAnalyticAcrossShapes) {
+  const std::uint64_t seed = GetParam();
+  gen::PlatformGenOptions options;
+  options.processors = 6;
+  options.fp_min = 0.1;
+  options.fp_max = 0.7;
+  const auto plat = gen::random_comm_hom_het_failures(options, seed * 4001);
+  const mapping::IntervalMapping m({{{0, 1}, {0, 3}}, {{2, 2}, {1, 4}}, {{3, 3}, {2, 5}}});
+  MonteCarloOptions mc;
+  mc.trials = 100'000;
+  mc.seed = seed;
+  const FailureRateEstimate est = estimate_failure_rate(plat, m, mc);
+  EXPECT_TRUE(est.consistent(0.01))
+      << "seed " << seed << ": empirical " << est.empirical << " analytic " << est.analytic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarloSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MonteCarlo, PaperFig5MappingValidated) {
+  const auto plat = gen::fig5_platform();
+  MonteCarloOptions options;
+  options.trials = 300'000;
+  const auto est = estimate_failure_rate(plat, gen::fig5_two_interval_mapping(), options);
+  EXPECT_LT(est.analytic, 0.2);
+  EXPECT_TRUE(est.consistent(0.005));
+}
+
+TEST(MonteCarloEngine, FailureFreeLatencyAndRatesReported) {
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  const auto m = gen::fig5_two_interval_mapping();
+  TrialOptions options;
+  options.trials = 300;
+  const TrialStats stats = run_trials(pipe, plat, m, options);
+  // The failure-free run's latency is at most the Eq. (1) worst case.
+  EXPECT_LE(stats.failure_free_latency, mapping::latency(pipe, plat, m) + 1e-9);
+  EXPECT_GT(stats.failure_free_latency, 0.0);
+  // Execution-level failures are at least as frequent as the analytic FP
+  // (mid-run sender deaths add failure modes the closed form does not count)
+  // but must stay in the same ballpark.
+  EXPECT_GE(stats.failure.empirical + 0.05 + stats.failure.ci95_half_width,
+            stats.failure.analytic);
+  EXPECT_EQ(static_cast<std::size_t>(stats.latency.count()) +
+                static_cast<std::size_t>(stats.failure.empirical *
+                                         static_cast<double>(options.trials) +
+                                         0.5),
+            options.trials);
+}
+
+TEST(MonteCarloEngine, ZeroFailureProcessorsAlwaysSucceed) {
+  const auto pipe = gen::random_uniform_pipeline(3, 5);
+  const auto plat = platform::make_fully_homogeneous(3, 1.0, 1.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(3, {0, 1});
+  TrialOptions options;
+  options.trials = 100;
+  const TrialStats stats = run_trials(pipe, plat, m, options);
+  EXPECT_DOUBLE_EQ(stats.failure.empirical, 0.0);
+  EXPECT_DOUBLE_EQ(stats.failure.analytic, 0.0);
+  EXPECT_EQ(stats.latency.count(), 100u);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  const auto plat = gen::fig5_platform();
+  const auto m = gen::fig5_two_interval_mapping();
+  MonteCarloOptions options;
+  options.trials = 10'000;
+  const auto a = estimate_failure_rate(plat, m, options);
+  const auto b = estimate_failure_rate(plat, m, options);
+  EXPECT_DOUBLE_EQ(a.empirical, b.empirical);
+}
+
+}  // namespace
+}  // namespace relap::sim

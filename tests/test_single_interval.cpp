@@ -1,0 +1,121 @@
+// Tests for algorithms/single_interval.hpp — the exact single-interval
+// solver on identical-link platforms with heterogeneous speeds AND failure
+// probabilities, cross-checked against exhaustive enumeration restricted to
+// one interval.
+
+#include "relap/algorithms/single_interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/platform/builders.hpp"
+#include "relap/util/stats.hpp"
+
+namespace relap::algorithms {
+namespace {
+
+TEST(SingleInterval, Fig5ReproducesPaperValue) {
+  // Under L = 22 the best single interval on the Figure 5 platform is two
+  // fast processors with FP = 0.64 (paper Section 3).
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  const Result r =
+      single_interval_min_fp_for_latency(pipe, plat, gen::fig5_latency_threshold());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->failure_probability, 0.64, 1e-12);
+  EXPECT_EQ(r->mapping.processors_used(), 2u);
+  EXPECT_EQ(r->mapping.interval_count(), 1u);
+}
+
+TEST(SingleInterval, MixedSpeedReliabilityTradeoff) {
+  // Fast-but-unreliable vs slow-but-reliable: with a loose budget the slow
+  // reliable processor joins; with a tight one it cannot.
+  const auto pipe = pipeline::Pipeline({10.0}, {1.0, 1.0});
+  const auto plat =
+      platform::make_comm_homogeneous({10.0, 10.0, 1.0}, 1.0, {0.5, 0.5, 0.01});
+  // Tight: L = 4. k=2 fast: 2 + 1 + 1 = 4, FP = 0.25. Slow proc needs W/s = 10.
+  const Result tight = single_interval_min_fp_for_latency(pipe, plat, 4.0);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_NEAR(tight->failure_probability, 0.25, 1e-15);
+  // Loose: L = 14 admits {0,1,2}: 3 + 10 + 1 = 14, FP = 0.0025.
+  const Result loose = single_interval_min_fp_for_latency(pipe, plat, 14.0);
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_NEAR(loose->failure_probability, 0.0025, 1e-15);
+  EXPECT_EQ(loose->mapping.processors_used(), 3u);
+}
+
+TEST(SingleInterval, MinLatencyHandComputed) {
+  const auto pipe = pipeline::Pipeline({10.0}, {1.0, 1.0});
+  const auto plat =
+      platform::make_comm_homogeneous({10.0, 10.0, 1.0}, 1.0, {0.5, 0.5, 0.01});
+  // FP <= 0.3: {0,1} gives 0.25 at latency 4; {2} gives 0.01 at 1+10+1 = 12.
+  const Result r = single_interval_min_latency_for_fp(pipe, plat, 0.3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->latency, 4.0);
+  // FP <= 0.2 excludes the fast pair (0.25): must fall back to slower sets.
+  const Result strict = single_interval_min_latency_for_fp(pipe, plat, 0.2);
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_TRUE(within_cap(strict->failure_probability, 0.2));
+  EXPECT_GT(strict->latency, 4.0);
+}
+
+TEST(SingleInterval, InfeasibleCases) {
+  const auto pipe = pipeline::Pipeline({10.0}, {1.0, 1.0});
+  const auto plat = platform::make_comm_homogeneous({1.0}, 1.0, {0.5});
+  ASSERT_FALSE(single_interval_min_fp_for_latency(pipe, plat, 2.0).has_value());
+  ASSERT_FALSE(single_interval_min_latency_for_fp(pipe, plat, 0.1).has_value());
+}
+
+// --- Exactness property: equals exhaustive restricted to one interval. ------
+
+class SingleIntervalSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    const std::uint64_t seed = GetParam();
+    pipe_.emplace(gen::random_uniform_pipeline(3, seed));
+    gen::PlatformGenOptions options;
+    options.processors = 5;
+    plat_.emplace(gen::random_comm_hom_het_failures(options, seed * 733));
+    ExhaustiveOptions ex;
+    ex.max_intervals = 1;
+    oracle_ = exhaustive_pareto(*pipe_, *plat_, ex);
+  }
+
+  std::optional<pipeline::Pipeline> pipe_;
+  std::optional<platform::Platform> plat_;
+  std::optional<util::Expected<ParetoOutcome>> oracle_;
+};
+
+TEST_P(SingleIntervalSweep, MinFpMatchesRestrictedExhaustive) {
+  ASSERT_TRUE(oracle_->has_value());
+  for (const auto& point : (*oracle_)->front) {
+    const Result fast = single_interval_min_fp_for_latency(*pipe_, *plat_, point.latency);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_TRUE(util::approx_equal(fast->failure_probability, point.failure_probability) ||
+                fast->failure_probability < point.failure_probability)
+        << "L=" << point.latency;
+  }
+}
+
+TEST_P(SingleIntervalSweep, MinLatencyMatchesRestrictedExhaustive) {
+  ASSERT_TRUE(oracle_->has_value());
+  for (const auto& point : (*oracle_)->front) {
+    const Result fast =
+        single_interval_min_latency_for_fp(*pipe_, *plat_, point.failure_probability);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_TRUE(util::approx_equal(fast->latency, point.latency) ||
+                fast->latency < point.latency)
+        << "FP=" << point.failure_probability;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleIntervalSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+}  // namespace
+}  // namespace relap::algorithms

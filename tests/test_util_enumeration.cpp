@@ -1,0 +1,150 @@
+// Tests for util/enumeration.hpp: visit counts match closed-form counts,
+// early-abort contracts, structural invariants of visited objects.
+
+#include "relap/util/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace relap::util {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534ULL);
+}
+
+TEST(Compositions, VisitsCorrectCountAndContent) {
+  std::set<std::vector<std::size_t>> seen;
+  const bool complete = for_each_composition(4, 4, [&](std::span<const std::size_t> parts) {
+    seen.insert(std::vector<std::size_t>(parts.begin(), parts.end()));
+    EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), std::size_t{0}), 4u);
+    for (const std::size_t p : parts) EXPECT_GE(p, 1u);
+    return true;
+  });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(seen.size(), 8u);  // 2^{n-1} compositions of 4
+  EXPECT_EQ(count_compositions(4, 4), 8u);
+}
+
+TEST(Compositions, MaxPartsCap) {
+  std::size_t visits = 0;
+  for_each_composition(5, 2, [&](std::span<const std::size_t> parts) {
+    EXPECT_LE(parts.size(), 2u);
+    ++visits;
+    return true;
+  });
+  // 1 composition with one part + C(4,1) = 4 with two parts.
+  EXPECT_EQ(visits, 5u);
+  EXPECT_EQ(count_compositions(5, 2), 5u);
+}
+
+TEST(Compositions, EarlyAbort) {
+  std::size_t visits = 0;
+  const bool complete = for_each_composition(6, 6, [&](std::span<const std::size_t>) {
+    return ++visits < 3;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(visits, 3u);
+}
+
+TEST(Subsets, CountsAndEmptyHandling) {
+  std::size_t with_empty = 0;
+  for_each_subset(4, true, [&](const std::vector<std::size_t>&) {
+    ++with_empty;
+    return true;
+  });
+  EXPECT_EQ(with_empty, 16u);
+
+  std::size_t without_empty = 0;
+  for_each_subset(4, false, [&](const std::vector<std::size_t>& s) {
+    EXPECT_FALSE(s.empty());
+    ++without_empty;
+    return true;
+  });
+  EXPECT_EQ(without_empty, 15u);
+}
+
+TEST(Combinations, LexicographicAndComplete) {
+  std::vector<std::vector<std::size_t>> seen;
+  for_each_combination(4, 2, [&](std::span<const std::size_t> comb) {
+    seen.emplace_back(comb.begin(), comb.end());
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(seen.back(), (std::vector<std::size_t>{2, 3}));
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST(Combinations, EdgeSizes) {
+  std::size_t visits = 0;
+  for_each_combination(3, 0, [&](std::span<const std::size_t> comb) {
+    EXPECT_TRUE(comb.empty());
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1u);
+
+  visits = 0;
+  for_each_combination(3, 3, [&](std::span<const std::size_t> comb) {
+    EXPECT_EQ(comb.size(), 3u);
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(Groupings, VisitCountMatchesClosedForm) {
+  for (std::size_t m = 1; m <= 5; ++m) {
+    for (std::size_t p = 1; p <= m; ++p) {
+      std::size_t visits = 0;
+      for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
+        // Every group non-empty, ids in [0, p].
+        std::vector<std::size_t> sizes(p, 0);
+        for (const std::size_t g : group_of) {
+          EXPECT_LE(g, p);
+          if (g < p) ++sizes[g];
+        }
+        for (const std::size_t s : sizes) EXPECT_GE(s, 1u);
+        ++visits;
+        return true;
+      });
+      EXPECT_EQ(visits, count_groupings(m, p)) << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(Groupings, KnownSmallCounts) {
+  // m=2, p=1: {0}, {1}, {0,1} -> 3 ways to pick one non-empty subset.
+  EXPECT_EQ(count_groupings(2, 1), 3u);
+  // m=2, p=2: ({0},{1}) and ({1},{0}).
+  EXPECT_EQ(count_groupings(2, 2), 2u);
+  // m=3, p=2: ordered pairs of disjoint non-empty subsets of a 3-set = 12.
+  EXPECT_EQ(count_groupings(3, 2), 12u);
+}
+
+TEST(Groupings, EarlyAbort) {
+  std::size_t visits = 0;
+  const bool complete = for_each_grouping(4, 2, [&](std::span<const std::size_t>) {
+    return ++visits < 5;
+  });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(visits, 5u);
+}
+
+TEST(RawGroupingCount, Formula) {
+  EXPECT_EQ(count_raw_groupings(3, 2), 27u);  // (p+1)^m = 3^3
+  EXPECT_EQ(count_raw_groupings(2, 4), 25u);  // 5^2
+}
+
+}  // namespace
+}  // namespace relap::util

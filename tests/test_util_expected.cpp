@@ -1,0 +1,56 @@
+// Tests for util/expected.hpp: value/error duality and factory helpers.
+
+#include "relap/util/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace relap::util {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  ASSERT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(make_error("code", "message"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, "code");
+  EXPECT_EQ(e.error().message, "message");
+  EXPECT_EQ(e.error().to_string(), "code: message");
+}
+
+TEST(Expected, TakeMovesValueOut) {
+  Expected<std::vector<int>> e(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(e).take();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(ErrorFactories, Codes) {
+  EXPECT_EQ(infeasible("x").code, "infeasible");
+  EXPECT_EQ(budget_exceeded("x").code, "budget");
+  const Error p = parse_error(7, "bad token");
+  EXPECT_EQ(p.code, "parse");
+  EXPECT_NE(p.message.find("7"), std::string::npos);
+  EXPECT_NE(p.message.find("bad token"), std::string::npos);
+}
+
+TEST(Expected, MutableAccess) {
+  Expected<int> e(1);
+  e.value() = 5;
+  EXPECT_EQ(e.value(), 5);
+}
+
+}  // namespace
+}  // namespace relap::util

@@ -1,0 +1,90 @@
+// Tests for util/pareto.hpp: domination logic and front maintenance.
+
+#include "relap/util/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace relap::util {
+namespace {
+
+TEST(Dominates, StrictAndEqualCases) {
+  EXPECT_TRUE(dominates({1.0, 1.0, 0}, {2.0, 2.0, 0}));
+  EXPECT_TRUE(dominates({1.0, 2.0, 0}, {2.0, 2.0, 0}));  // tie on y, better x
+  EXPECT_FALSE(dominates({1.0, 1.0, 0}, {1.0, 1.0, 0}));  // equal: no strict gain
+  EXPECT_FALSE(dominates({1.0, 3.0, 0}, {2.0, 2.0, 0}));  // incomparable
+  EXPECT_FALSE(dominates({2.0, 2.0, 0}, {1.0, 1.0, 0}));
+}
+
+TEST(ParetoFront, InsertKeepsNonDominatedSorted) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert({2.0, 2.0, 0}));
+  EXPECT_TRUE(front.insert({1.0, 3.0, 1}));
+  EXPECT_TRUE(front.insert({3.0, 1.0, 2}));
+  EXPECT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front.points()[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(front.points()[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(front.points()[2].x, 3.0);
+}
+
+TEST(ParetoFront, RejectsDominatedAndDuplicates) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert({1.0, 1.0, 0}));
+  EXPECT_FALSE(front.insert({2.0, 2.0, 1}));  // dominated
+  EXPECT_FALSE(front.insert({1.0, 1.0, 2}));  // duplicate
+  EXPECT_FALSE(front.insert({1.0 + 1e-13, 1.0, 3}));  // duplicate within tolerance
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoFront, EvictsNewlyDominated) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert({2.0, 2.0, 0}));
+  EXPECT_TRUE(front.insert({3.0, 1.5, 1}));
+  EXPECT_TRUE(front.insert({1.0, 1.0, 2}));  // dominates both
+  EXPECT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.points()[0].payload, 2u);
+}
+
+TEST(ParetoFront, BestWithinCaps) {
+  ParetoFront front;
+  front.insert({1.0, 5.0, 0});
+  front.insert({2.0, 3.0, 1});
+  front.insert({4.0, 1.0, 2});
+
+  const ParetoPoint* by_x = front.best_y_within_x(2.5);
+  ASSERT_NE(by_x, nullptr);
+  EXPECT_EQ(by_x->payload, 1u);
+
+  const ParetoPoint* at_boundary = front.best_y_within_x(2.0);
+  ASSERT_NE(at_boundary, nullptr);
+  EXPECT_EQ(at_boundary->payload, 1u);  // boundary counts as feasible
+
+  EXPECT_EQ(front.best_y_within_x(0.5), nullptr);
+
+  const ParetoPoint* by_y = front.best_x_within_y(3.5);
+  ASSERT_NE(by_y, nullptr);
+  EXPECT_EQ(by_y->payload, 1u);
+  EXPECT_EQ(front.best_x_within_y(0.5), nullptr);
+}
+
+TEST(ParetoFront, CoversReflexiveAndDominating) {
+  ParetoFront a;
+  a.insert({1.0, 2.0, 0});
+  a.insert({2.0, 1.0, 1});
+  EXPECT_TRUE(a.covers(a));
+
+  ParetoFront worse;
+  worse.insert({1.5, 2.5, 0});
+  EXPECT_TRUE(a.covers(worse));
+  EXPECT_FALSE(worse.covers(a));
+}
+
+TEST(ParetoFront, CoversFailsOnMissingRegion) {
+  ParetoFront a;
+  a.insert({2.0, 1.0, 0});
+  ParetoFront b;
+  b.insert({1.0, 2.0, 0});  // region a does not reach
+  EXPECT_FALSE(a.covers(b));
+}
+
+}  // namespace
+}  // namespace relap::util

@@ -1,0 +1,140 @@
+// Tests for util/rng.hpp: determinism, distribution sanity, bounded sampling.
+
+#include "relap/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace relap::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(3.0, 5.5);
+    ASSERT_GE(x, 3.0);
+    ASSERT_LT(x, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(123);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_int(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, kSamples / kBound * 0.1);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child must not replay the parent's continuation.
+  Rng parent_copy(99);
+  (void)parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<std::size_t> values = iota_indices(50);
+  rng.shuffle(values);
+  std::vector<std::size_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, iota_indices(50));
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<std::size_t> a = iota_indices(20);
+  std::vector<std::size_t> b = iota_indices(20);
+  Rng ra(3);
+  Rng rb(3);
+  ra.shuffle(a);
+  rb.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IotaIndices, Basics) {
+  EXPECT_TRUE(iota_indices(0).empty());
+  EXPECT_EQ(iota_indices(3), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Splitmix, KnownGoldenValues) {
+  // First outputs for seed 0, from the reference implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace relap::util

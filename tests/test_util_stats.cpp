@@ -1,0 +1,96 @@
+// Tests for util/stats.hpp: Kahan summation, Welford statistics, tolerant
+// comparisons.
+
+#include "relap/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace relap::util {
+namespace {
+
+TEST(KahanSum, ExactOnSmallInputs) {
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(2.0);
+  sum.add(3.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 6.0);
+}
+
+TEST(KahanSum, CompensatesCatastrophicCancellation) {
+  // 1 + 1e-16 added 1e6 times: naive double addition loses all the 1e-16s
+  // (1 + 1e-16 == 1 in double), Kahan keeps them.
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 1'000'000; ++i) sum.add(1e-16);
+  EXPECT_NEAR(sum.value() - 1.0, 1e-10, 1e-12);
+
+  double naive = 1.0;
+  for (int i = 0; i < 1'000'000; ++i) naive += 1e-16;
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates the failure Kahan avoids
+}
+
+TEST(KahanSum, SpanHelperMatchesLoop) {
+  const std::vector<double> values{0.1, 0.2, 0.3, 0.4};
+  KahanSum loop;
+  for (const double v : values) loop.add(v);
+  EXPECT_DOUBLE_EQ(kahan_sum(values), loop.value());
+}
+
+TEST(StreamingStats, EmptyIsSafe) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with Bessel correction: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StreamingStats, Ci95ShrinksWithSamples) {
+  StreamingStats small;
+  StreamingStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(ApproxEqual, Basics) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(DefinitelyLess, ComplementsApproxEqual) {
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(2.0, 1.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + 1e-13));  // within tolerance
+  EXPECT_FALSE(definitely_less(1.0, 1.0));
+}
+
+}  // namespace
+}  // namespace relap::util
