@@ -1,0 +1,183 @@
+// Serial-vs-parallel scaling of the solver hot paths on paper-scale
+// instances, with bit-identical-result verification at every thread count.
+//
+// Two tables: direct Bernoulli Monte-Carlo trials (sim/monte_carlo.hpp) and
+// exhaustive interval enumeration (algorithms/exhaustive.hpp). Each runs the
+// same seeded workload at 1, 2, 4 and 8 threads, reports the speedup over
+// the 1-thread run, and hard-asserts that every result is bit-identical to
+// the serial one — the exec subsystem's determinism contract. Speedups only
+// materialize when the machine actually has the cores; the table reports
+// `hardware_concurrency` so a 3x-at-8-threads expectation can be judged in
+// context.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/exec/thread_pool.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/sim/monte_carlo.hpp"
+#include "relap/util/assert.hpp"
+
+namespace relap {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void print_scaling_row(std::size_t threads, double seconds, double serial_seconds) {
+  std::printf("%7zu  %9.3f  %7.2fx  identical\n", threads, seconds,
+              seconds > 0.0 ? serial_seconds / seconds : 0.0);
+}
+
+void monte_carlo_scaling() {
+  benchutil::header("Monte-Carlo trial scaling (fig5 two-interval mapping, 2M trials)");
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+
+  sim::MonteCarloOptions options;
+  options.trials = 2'000'000;
+
+  double serial_seconds = 0.0;
+  sim::FailureRateEstimate reference;
+  std::printf("threads    time(s)   speedup  result\n");
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::FailureRateEstimate estimate = sim::estimate_failure_rate(plat, mapping, options);
+    const double elapsed = seconds_since(start);
+    if (threads == 1) {
+      serial_seconds = elapsed;
+      reference = estimate;
+    }
+    RELAP_ASSERT(estimate.empirical == reference.empirical &&
+                     estimate.ci95.low == reference.ci95.low &&
+                     estimate.ci95.high == reference.ci95.high,
+                 "parallel Monte-Carlo result differs from the serial run");
+    print_scaling_row(threads, elapsed, serial_seconds);
+  }
+  std::printf("empirical FP %.6f vs analytic %.6f (consistent: %s)\n", reference.empirical,
+              reference.analytic, reference.consistent(0.005) ? "yes" : "NO");
+}
+
+void engine_trials_scaling() {
+  benchutil::header("Full-engine trial scaling (fig5, 4000 simulated runs)");
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+
+  sim::TrialOptions options;
+  options.trials = 4'000;
+
+  double serial_seconds = 0.0;
+  sim::TrialStats reference;
+  std::printf("threads    time(s)   speedup  result\n");
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::TrialStats stats = sim::run_trials(pipe, plat, mapping, options);
+    const double elapsed = seconds_since(start);
+    if (threads == 1) {
+      serial_seconds = elapsed;
+      reference = stats;
+    }
+    RELAP_ASSERT(stats.failure.empirical == reference.failure.empirical &&
+                     stats.latency.count() == reference.latency.count() &&
+                     stats.latency.mean() == reference.latency.mean() &&
+                     stats.latency.variance() == reference.latency.variance(),
+                 "parallel engine trials differ from the serial run");
+    print_scaling_row(threads, elapsed, serial_seconds);
+  }
+}
+
+void exhaustive_scaling() {
+  // 6 stages on 7 comm-homogeneous processors: 543,607 interval mappings.
+  benchutil::header("Exhaustive enumeration scaling (n=6 stages, m=7 processors)");
+  const auto pipe = gen::random_uniform_pipeline(6, 2008);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 7;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 2009);
+
+  std::printf("search space: %llu interval mappings\n",
+              static_cast<unsigned long long>(algorithms::interval_mapping_count(6, 7)));
+
+  algorithms::ExhaustiveOptions options;
+  double serial_seconds = 0.0;
+  std::vector<algorithms::ParetoSolution> reference;
+  std::printf("threads    time(s)   speedup  result\n");
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcome = algorithms::exhaustive_pareto(pipe, plat, options);
+    const double elapsed = seconds_since(start);
+    RELAP_ASSERT(outcome.has_value(), "enumeration must fit the default budget");
+    if (threads == 1) {
+      serial_seconds = elapsed;
+      reference = outcome->front;
+    }
+    RELAP_ASSERT(outcome->front.size() == reference.size(),
+                 "parallel exhaustive front size differs from the serial run");
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      RELAP_ASSERT(outcome->front[i].latency == reference[i].latency &&
+                       outcome->front[i].failure_probability ==
+                           reference[i].failure_probability &&
+                       outcome->front[i].mapping == reference[i].mapping,
+                   "parallel exhaustive front differs from the serial run");
+    }
+    print_scaling_row(threads, elapsed, serial_seconds);
+  }
+  std::printf("Pareto front: %zu points\n", reference.size());
+}
+
+void print_tables() {
+  std::printf("hardware_concurrency: %u (speedups need the physical cores; "
+              "results are identical regardless)\n",
+              std::thread::hardware_concurrency());
+  monte_carlo_scaling();
+  engine_trials_scaling();
+  exhaustive_scaling();
+}
+
+void BM_EstimateFailureRate(benchmark::State& state) {
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  sim::MonteCarloOptions options;
+  options.trials = 200'000;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_failure_rate(plat, mapping, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EstimateFailureRate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveMinFp(benchmark::State& state) {
+  const auto pipe = gen::random_uniform_pipeline(5, 2010);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 6;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 2011);
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  algorithms::ExhaustiveOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::exhaustive_min_fp_for_latency(pipe, plat, 1e6, options));
+  }
+}
+BENCHMARK(BM_ExhaustiveMinFp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relap
+
+RELAP_BENCH_MAIN(relap::print_tables)

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <vector>
 
+#include "relap/exec/parallel.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/rng.hpp"
 
@@ -86,11 +88,12 @@ std::optional<Assignments> random_neighbor(util::Rng& rng, const platform::Platf
   }
 }
 
-Solution anneal(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-                Solution start, double cap, const AnnealingOptions& options,
-                double (*energy)(const Solution&, double cap, double penalty),
-                bool (*better)(const Solution&, const Solution&, double)) {
-  util::Rng rng(options.seed);
+/// One annealing chain driven by its own generator.
+Solution anneal_chain(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                      Solution start, double cap, const AnnealingOptions& options,
+                      util::Rng rng,
+                      double (*energy)(const Solution&, double cap, double penalty),
+                      bool (*better)(const Solution&, const Solution&, double)) {
   Solution current = start;
   Solution best = std::move(start);
   double temperature = options.initial_temperature;
@@ -105,6 +108,34 @@ Solution anneal(const pipeline::Pipeline& pipeline, const platform::Platform& pl
       current = candidate;
     }
     if (better(candidate, best, cap)) best = std::move(candidate);
+  }
+  return best;
+}
+
+/// Multi-start driver: independent chains with per-restart RNG streams split
+/// off the seed in restart order, run concurrently; the winner is picked in
+/// restart order (strictly-better replaces, so the earliest restart wins
+/// ties) — thread-count-invariant.
+Solution anneal(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                Solution start, double cap, const AnnealingOptions& options,
+                double (*energy)(const Solution&, double cap, double penalty),
+                bool (*better)(const Solution&, const Solution&, double)) {
+  RELAP_ASSERT(options.restarts >= 1, "need at least one annealing restart");
+  util::Rng root(options.seed);
+  std::vector<util::Rng> restart_rngs = root.split_n(options.restarts);
+
+  std::vector<std::optional<Solution>> outcomes(options.restarts);
+  exec::parallel_for(
+      options.restarts, 1,
+      [&](std::size_t r) {
+        outcomes[r] =
+            anneal_chain(pipeline, platform, start, cap, options, restart_rngs[r], energy, better);
+      },
+      options.pool);
+
+  Solution best = *std::move(outcomes[0]);
+  for (std::size_t r = 1; r < options.restarts; ++r) {
+    if (better(*outcomes[r], best, cap)) best = *std::move(outcomes[r]);
   }
   return best;
 }

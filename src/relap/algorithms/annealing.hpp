@@ -15,6 +15,10 @@
 
 #include "relap/algorithms/types.hpp"
 
+namespace relap::exec {
+class ThreadPool;
+}  // namespace relap::exec
+
 namespace relap::algorithms {
 
 struct AnnealingOptions {
@@ -23,6 +27,13 @@ struct AnnealingOptions {
   double initial_temperature = 0.5;
   double cooling = 0.9995;      ///< geometric factor per iteration
   double penalty = 10.0;        ///< constraint-violation weight
+  /// Independent annealing chains, run concurrently, each with its own RNG
+  /// stream split off `seed` in restart order; the best outcome under the
+  /// direction's comparator wins (earliest restart on ties). Results are
+  /// identical at any thread count.
+  std::size_t restarts = 1;
+  /// Pool for the restarts; null uses `exec::ThreadPool::shared()`.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Minimizes FP subject to latency <= `max_latency`, starting from `start`.

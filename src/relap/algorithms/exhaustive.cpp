@@ -1,8 +1,11 @@
 #include "relap/algorithms/exhaustive.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
+#include <utility>
 
+#include "relap/exec/parallel.hpp"
 #include "relap/mapping/throughput.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/enumeration.hpp"
@@ -13,35 +16,118 @@ namespace relap::algorithms {
 
 namespace {
 
+/// Number of grouping callbacks the interval enumerator makes, from the
+/// closed form sum_p C(n-1, p-1) * count_groupings(m, p), saturating.
+/// Equals the evaluation count the pre-parallel streaming enumerator charged
+/// against its budget, so the budget decision is unchanged — it is just made
+/// in O(max_parts) before any candidate is evaluated.
+std::uint64_t count_enumeration_callbacks(std::size_t n, std::size_t m, std::size_t max_parts) {
+  constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (std::size_t p = 1; p <= max_parts; ++p) {
+    const std::uint64_t compositions = util::binomial(n - 1, p - 1);
+    const std::uint64_t groupings = util::count_groupings(m, p);
+    if (compositions != 0 && groupings > kSaturated / compositions) return kSaturated;
+    const std::uint64_t product = compositions * groupings;
+    if (product > kSaturated - total) return kSaturated;
+    total += product;
+  }
+  return total;
+}
+
 /// Enumerates every interval mapping within the options' structural caps,
-/// calling `visit` with each evaluated solution. Returns true iff the
-/// enumeration completed within the evaluation budget.
-bool for_each_interval_solution(const pipeline::Pipeline& pipeline,
-                                const platform::Platform& platform,
-                                const ExhaustiveOptions& options,
-                                const std::function<void(Solution)>& visit) {
+/// evaluating candidates in parallel on the options' pool.
+///
+/// Work is split by composition (stage partition): compositions are streamed
+/// in fixed-size blocks, each block's compositions are expanded and evaluated
+/// concurrently (one composition per task) into per-composition accumulators,
+/// and the accumulators are merged serially in enumeration order — so the
+/// result is identical at any thread count, and matches a serial left fold
+/// of `visit` over the enumeration order up to `merge` associativity.
+///
+/// Returns false iff the candidate count exceeds the evaluation budget (in
+/// which case nothing is evaluated).
+template <typename Acc, typename Visit>
+bool parallel_interval_enumeration(const pipeline::Pipeline& pipeline,
+                                   const platform::Platform& platform,
+                                   const ExhaustiveOptions& options, Acc& out,
+                                   const Visit& visit,
+                                   const std::function<void(Acc&, Acc&&)>& merge) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   const std::size_t max_parts = std::min({n, m, options.max_intervals});
-  std::uint64_t evaluations = 0;
+  if (count_enumeration_callbacks(n, m, max_parts) > options.max_evaluations) return false;
 
-  const bool completed = util::for_each_composition(
-      n, max_parts, [&](std::span<const std::size_t> lengths) {
-        const std::size_t p = lengths.size();
-        return util::for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
-          if (++evaluations > options.max_evaluations) return false;
-          std::vector<std::vector<platform::ProcessorId>> groups(p);
-          for (platform::ProcessorId u = 0; u < m; ++u) {
-            if (group_of[u] < p) groups[group_of[u]].push_back(u);
+  constexpr std::size_t kCompositionsPerBlock = 1024;
+  std::vector<std::vector<std::size_t>> block;
+  block.reserve(kCompositionsPerBlock);
+
+  auto flush_block = [&] {
+    if (block.empty()) return;
+    Acc block_acc = exec::parallel_reduce(
+        block.size(), 1, [] { return Acc(); },
+        [&](Acc& local, std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t c = begin; c < end; ++c) {
+            const std::vector<std::size_t>& lengths = block[c];
+            const std::size_t p = lengths.size();
+            util::for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
+              std::vector<std::vector<platform::ProcessorId>> groups(p);
+              for (platform::ProcessorId u = 0; u < m; ++u) {
+                if (group_of[u] < p) groups[group_of[u]].push_back(u);
+              }
+              for (const auto& g : groups) {
+                if (g.size() > options.max_replication) return true;  // skip, keep enumerating
+              }
+              visit(local,
+                    evaluate(pipeline, platform,
+                             mapping::IntervalMapping::from_composition(lengths,
+                                                                       std::move(groups))));
+              return true;
+            });
           }
-          for (const auto& g : groups) {
-            if (g.size() > options.max_replication) return true;  // skip, keep enumerating
-          }
-          visit(evaluate(pipeline, platform,
-                         mapping::IntervalMapping::from_composition(lengths, std::move(groups))));
-          return true;
-        });
+        },
+        merge, options.pool);
+    merge(out, std::move(block_acc));
+    block.clear();
+  };
+
+  util::for_each_composition(n, max_parts, [&](std::span<const std::size_t> lengths) {
+    block.emplace_back(lengths.begin(), lengths.end());
+    if (block.size() == kCompositionsPerBlock) flush_block();
+    return true;
+  });
+  flush_block();
+  return true;
+}
+
+/// Accumulator for the single-best entry points: the incumbent under a
+/// comparator. Merging keeps the earlier (lower enumeration order)
+/// accumulator's incumbent on ties, matching the serial first-wins rule.
+struct BestAccumulator {
+  std::optional<Solution> best;
+};
+
+using Comparator = bool (*)(const Solution&, const Solution&, double);
+
+/// Shared driver for the single-best entry points: enumerates all interval
+/// mappings, keeps the best admitted solution under `better` with `cap`.
+/// Returns false iff the candidate count exceeds the evaluation budget.
+bool enumerate_best(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                    const ExhaustiveOptions& options, double cap, Comparator better,
+                    const std::function<bool(const Solution&)>& admit,
+                    std::optional<Solution>& best) {
+  BestAccumulator acc;
+  const bool completed = parallel_interval_enumeration<BestAccumulator>(
+      pipeline, platform, options, acc,
+      [&](BestAccumulator& local, Solution s) {
+        if (!admit(s)) return;
+        if (!local.best || better(s, *local.best, cap)) local.best = std::move(s);
+      },
+      [&](BestAccumulator& into, BestAccumulator&& from) {
+        if (!from.best) return;
+        if (!into.best || better(*from.best, *into.best, cap)) into.best = std::move(from.best);
       });
+  best = std::move(acc.best);
   return completed;
 }
 
@@ -55,24 +141,37 @@ util::Error budget_error(const ExhaustiveOptions& options) {
 util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeline,
                                                 const platform::Platform& platform,
                                                 const ExhaustiveOptions& options) {
-  util::ParetoFront front;
-  std::vector<ParetoSolution> pool;
-  std::uint64_t evaluations = 0;
-  const bool completed = for_each_interval_solution(
-      pipeline, platform, options, [&](Solution s) {
-        ++evaluations;
-        const util::ParetoPoint point{s.latency, s.failure_probability, pool.size()};
-        if (front.insert(point)) {
-          pool.push_back(ParetoSolution{s.latency, s.failure_probability, std::move(s.mapping)});
+  struct FrontAccumulator {
+    util::ParetoFront front;
+    std::vector<ParetoSolution> pool;  // payload storage; may hold dead entries
+    std::uint64_t evaluations = 0;
+  };
+  FrontAccumulator acc;
+  const bool completed = parallel_interval_enumeration<FrontAccumulator>(
+      pipeline, platform, options, acc,
+      [](FrontAccumulator& local, Solution s) {
+        ++local.evaluations;
+        const util::ParetoPoint point{s.latency, s.failure_probability, local.pool.size()};
+        if (local.front.insert(point)) {
+          local.pool.push_back(
+              ParetoSolution{s.latency, s.failure_probability, std::move(s.mapping)});
+        }
+      },
+      [](FrontAccumulator& into, FrontAccumulator&& from) {
+        into.evaluations += from.evaluations;
+        for (const util::ParetoPoint& point : from.front.points()) {
+          if (into.front.insert({point.x, point.y, into.pool.size()})) {
+            into.pool.push_back(std::move(from.pool[point.payload]));
+          }
         }
       });
   if (!completed) return budget_error(options);
 
   ParetoOutcome outcome;
-  outcome.evaluations = evaluations;
-  outcome.front.reserve(front.size());
-  for (const util::ParetoPoint& point : front.points()) {
-    outcome.front.push_back(std::move(pool[point.payload]));
+  outcome.evaluations = acc.evaluations;
+  outcome.front.reserve(acc.front.size());
+  for (const util::ParetoPoint& point : acc.front.points()) {
+    outcome.front.push_back(std::move(acc.pool[point.payload]));
   }
   return outcome;
 }
@@ -81,11 +180,9 @@ Result exhaustive_min_fp_for_latency(const pipeline::Pipeline& pipeline,
                                      const platform::Platform& platform, double max_latency,
                                      const ExhaustiveOptions& options) {
   std::optional<Solution> best;
-  const bool completed = for_each_interval_solution(
-      pipeline, platform, options, [&](Solution s) {
-        if (!within_cap(s.latency, max_latency)) return;
-        if (!best || better_min_fp(s, *best, max_latency)) best = std::move(s);
-      });
+  const bool completed = enumerate_best(
+      pipeline, platform, options, max_latency, &better_min_fp,
+      [&](const Solution& s) { return within_cap(s.latency, max_latency); }, best);
   if (!completed) return budget_error(options);
   if (!best) {
     return util::infeasible("no interval mapping meets latency threshold " +
@@ -99,11 +196,10 @@ Result exhaustive_min_latency_for_fp(const pipeline::Pipeline& pipeline,
                                      double max_failure_probability,
                                      const ExhaustiveOptions& options) {
   std::optional<Solution> best;
-  const bool completed = for_each_interval_solution(
-      pipeline, platform, options, [&](Solution s) {
-        if (!within_cap(s.failure_probability, max_failure_probability)) return;
-        if (!best || better_min_latency(s, *best, max_failure_probability)) best = std::move(s);
-      });
+  const bool completed = enumerate_best(
+      pipeline, platform, options, max_failure_probability, &better_min_latency,
+      [&](const Solution& s) { return within_cap(s.failure_probability, max_failure_probability); },
+      best);
   if (!completed) return budget_error(options);
   if (!best) {
     return util::infeasible("no interval mapping meets failure threshold " +
@@ -117,12 +213,13 @@ Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeli
                                                 double max_latency, double max_period,
                                                 const ExhaustiveOptions& options) {
   std::optional<Solution> best;
-  const bool completed = for_each_interval_solution(
-      pipeline, platform, options, [&](Solution s) {
-        if (!within_cap(s.latency, max_latency)) return;
-        if (!within_cap(mapping::period(pipeline, platform, s.mapping), max_period)) return;
-        if (!best || better_min_fp(s, *best, max_latency)) best = std::move(s);
-      });
+  const bool completed = enumerate_best(
+      pipeline, platform, options, max_latency, &better_min_fp,
+      [&](const Solution& s) {
+        return within_cap(s.latency, max_latency) &&
+               within_cap(mapping::period(pipeline, platform, s.mapping), max_period);
+      },
+      best);
   if (!completed) return budget_error(options);
   if (!best) {
     return util::infeasible("no interval mapping meets latency threshold " +

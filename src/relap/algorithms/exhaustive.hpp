@@ -22,14 +22,26 @@
 
 #include "relap/algorithms/types.hpp"
 
+namespace relap::exec {
+class ThreadPool;
+}  // namespace relap::exec
+
 namespace relap::algorithms {
 
 struct ExhaustiveOptions {
   /// Maximum number of candidate mappings evaluated before giving up.
+  /// Whether the budget suffices is decided *upfront* from the closed-form
+  /// candidate counts (the per-p grouping counts are exact), so an
+  /// over-budget call fails fast instead of burning the whole budget first.
   std::uint64_t max_evaluations = 20'000'000;
   /// Optional structural caps, useful for ablations (SIZE_MAX = no cap).
   std::size_t max_intervals = static_cast<std::size_t>(-1);
   std::size_t max_replication = static_cast<std::size_t>(-1);
+  /// Pool for the parallel enumeration; null uses
+  /// `exec::ThreadPool::shared()`. Candidates are split across threads by
+  /// composition (stage partition) and the per-composition results merged in
+  /// enumeration order, so the outcome is identical at any thread count.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// One point of a latency/FP Pareto front together with a witness mapping.

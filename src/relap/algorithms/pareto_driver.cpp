@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "relap/algorithms/heuristics.hpp"
 #include "relap/algorithms/mono_criterion.hpp"
+#include "relap/exec/parallel.hpp"
 #include "relap/mapping/latency.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/pareto.hpp"
@@ -44,16 +46,25 @@ std::vector<ParetoSolution> sweep_latency_thresholds(const pipeline::Pipeline& p
   const Solution most_reliable = minimize_failure_probability(pipeline, platform);
   const double hi = std::max(most_reliable.latency, lo * (1.0 + 1e-6));
 
+  // Solve every threshold concurrently (the expensive part), then merge the
+  // candidates into the front serially in threshold order so the resulting
+  // front does not depend on the thread count.
+  const double ratio = hi / lo;
+  std::vector<std::optional<Result>> results(options.thresholds);
+  exec::parallel_for(
+      options.thresholds, 1,
+      [&](std::size_t i) {
+        const double t = static_cast<double>(i) / static_cast<double>(options.thresholds - 1);
+        const double threshold = lo * std::pow(ratio, t);
+        results[i].emplace(solver(threshold));
+      },
+      options.pool);
+
   util::ParetoFront front;
   std::vector<ParetoSolution> pool;
   insert_solution(front, pool, most_reliable);
-
-  const double ratio = hi / lo;
-  for (std::size_t i = 0; i < options.thresholds; ++i) {
-    const double t = static_cast<double>(i) / static_cast<double>(options.thresholds - 1);
-    const double threshold = lo * std::pow(ratio, t);
-    Result r = solver(threshold);
-    if (r) insert_solution(front, pool, std::move(r).take());
+  for (std::optional<Result>& r : results) {
+    if (*r) insert_solution(front, pool, std::move(*r).take());
   }
   return finalize(front, pool);
 }

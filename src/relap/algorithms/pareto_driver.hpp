@@ -15,14 +15,25 @@
 #include "relap/algorithms/exhaustive.hpp"
 #include "relap/algorithms/types.hpp"
 
+namespace relap::exec {
+class ThreadPool;
+}  // namespace relap::exec
+
 namespace relap::algorithms {
 
 /// A constrained solver: latency threshold -> best-effort solution.
+/// The sweep evaluates thresholds concurrently, so the solver must be safe
+/// to call from multiple threads at once (every solver in this library is:
+/// they share only the immutable pipeline/platform).
 using MinFpSolver = std::function<Result(double max_latency)>;
 
 struct ParetoDriverOptions {
   /// Number of latency thresholds swept (log-spaced between bounds).
   std::size_t thresholds = 24;
+  /// Pool for the parallel sweep; null uses `exec::ThreadPool::shared()`.
+  /// The front is assembled from the per-threshold results in index order,
+  /// so the outcome is identical at any thread count.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Sweeps latency thresholds and merges the solver's answers into a front.

@@ -1,0 +1,14 @@
+#include "relap/exec/parallel.hpp"
+
+namespace relap::exec {
+
+ChunkGrid chunk_grid(std::size_t n, std::size_t grain) {
+  RELAP_ASSERT(grain >= 1, "chunk grain must be positive");
+  ChunkGrid grid;
+  grid.n = n;
+  grid.grain = grain;
+  grid.chunks = n == 0 ? 0 : (n - 1) / grain + 1;
+  return grid;
+}
+
+}  // namespace relap::exec

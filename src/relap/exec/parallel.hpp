@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic data-parallel primitives over a `ThreadPool`.
+///
+/// The key invariant: **the chunk grid depends only on the problem size and
+/// the grain, never on the thread count.** Each chunk writes its results to
+/// its own slot, and reductions merge the per-chunk accumulators serially in
+/// chunk-index order. A computation expressed through these primitives
+/// therefore produces bit-identical results on 1, 2 or 64 threads — the
+/// property the determinism regression tests pin down.
+///
+/// Randomized chunk bodies get their independent streams by pre-splitting a
+/// parent `util::Rng` into one child per chunk (`util::Rng::split_n`), again
+/// in chunk-index order, so seeding is also thread-count-invariant.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "relap/exec/thread_pool.hpp"
+#include "relap/util/assert.hpp"
+
+namespace relap::exec {
+
+/// A fixed partition of [0, n) into `ceil(n / grain)` chunks of `grain`
+/// elements each (the last one possibly shorter).
+struct ChunkGrid {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+
+  [[nodiscard]] std::size_t begin(std::size_t chunk) const { return chunk * grain; }
+  [[nodiscard]] std::size_t end(std::size_t chunk) const {
+    const std::size_t e = (chunk + 1) * grain;
+    return e < n ? e : n;
+  }
+};
+
+/// Builds the grid; `grain` >= 1. Pure function of (n, grain).
+[[nodiscard]] ChunkGrid chunk_grid(std::size_t n, std::size_t grain);
+
+/// Runs `body(begin, end, chunk)` for every chunk of the grid over [0, n).
+/// Chunks run concurrently on `pool` (null = shared pool); the body must only
+/// write to per-chunk state.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t grain, Body&& body,
+                         ThreadPool* pool = nullptr) {
+  const ChunkGrid grid = chunk_grid(n, grain);
+  if (grid.chunks == 0) return;
+  const std::function<void(std::size_t)> task = [&](std::size_t chunk) {
+    body(grid.begin(chunk), grid.end(chunk), chunk);
+  };
+  ThreadPool::resolve(pool).run(grid.chunks, task);
+}
+
+/// Runs `body(i)` for every i in [0, n), `grain` indices per task.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body, ThreadPool* pool = nullptr) {
+  parallel_for_chunks(
+      n, grain,
+      [&body](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      pool);
+}
+
+/// Order-deterministic chunked reduction.
+///
+/// `make()` builds a fresh accumulator per chunk; `body(acc, begin, end,
+/// chunk)` folds the chunk's index range into it; after every chunk finished,
+/// `merge(result, acc)` is applied serially in increasing chunk order,
+/// starting from chunk 0's accumulator. With n == 0 the result is `make()`.
+template <typename Make, typename Body, typename Merge>
+[[nodiscard]] auto parallel_reduce(std::size_t n, std::size_t grain, Make&& make, Body&& body,
+                                   Merge&& merge, ThreadPool* pool = nullptr) {
+  using Acc = decltype(make());
+  const ChunkGrid grid = chunk_grid(n, grain);
+  if (grid.chunks == 0) return make();
+
+  std::vector<Acc> partials;
+  partials.reserve(grid.chunks);
+  for (std::size_t chunk = 0; chunk < grid.chunks; ++chunk) partials.push_back(make());
+
+  const std::function<void(std::size_t)> task = [&](std::size_t chunk) {
+    body(partials[chunk], grid.begin(chunk), grid.end(chunk), chunk);
+  };
+  ThreadPool::resolve(pool).run(grid.chunks, task);
+
+  Acc result = std::move(partials[0]);
+  for (std::size_t chunk = 1; chunk < grid.chunks; ++chunk) {
+    merge(result, std::move(partials[chunk]));
+  }
+  return result;
+}
+
+}  // namespace relap::exec

@@ -1,0 +1,128 @@
+#include "relap/exec/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "relap/util/assert.hpp"
+
+namespace relap::exec {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RELAP_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// One blocking `run()` call: an index space [0, total) claimed via an atomic
+/// cursor. Completion is tracked separately from claiming because a claimed
+/// task is still running after the cursor passes `total`.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t total = 0;
+  std::atomic<std::size_t> next_task{0};
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t done = 0;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : thread_count_(threads) {
+  RELAP_ASSERT(threads >= 1, "a thread pool needs at least the calling thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  while (true) {
+    const std::size_t task = job.next_task.fetch_add(1, std::memory_order_relaxed);
+    if (task >= job.total) return;
+    std::exception_ptr error;
+    try {
+      (*job.body)(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(job.mutex);
+    if (error && !job.error) job.error = error;
+    if (++job.done == job.total) job.all_done.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_) return;
+      job = jobs_.front();
+      if (job->next_task.load(std::memory_order_relaxed) >= job->total) {
+        // Exhausted: retire it so the next wait does not spin on it.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    drain(*job);
+  }
+}
+
+void ThreadPool::run(std::size_t tasks, const std::function<void(std::size_t)>& body) {
+  if (tasks == 0) return;
+  if (thread_count_ == 1 || tasks == 1) {
+    // Inline fast path: no synchronization, exceptions propagate directly.
+    for (std::size_t task = 0; task < tasks; ++task) body(task);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->total = tasks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_available_.notify_all();
+
+  drain(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->all_done.wait(lock, [&] { return job->done == job->total; });
+  }
+  {
+    // The job is exhausted; remove it if a worker has not already.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace relap::exec

@@ -1,53 +1,80 @@
 #include "relap/sim/monte_carlo.hpp"
 
 #include <cmath>
+#include <vector>
 
+#include "relap/exec/parallel.hpp"
 #include "relap/mapping/reliability.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/rng.hpp"
 
 namespace relap::sim {
 
+namespace {
+
+/// Chunk grains for the parallel trial loops. Part of the deterministic
+/// result contract: changing a grain changes which chunk (and hence which
+/// split RNG stream) a trial belongs to, so these are fixed constants, not
+/// tuned per thread count. Bernoulli trials are branch-cheap, full-engine
+/// trials each run a discrete-event simulation.
+constexpr std::size_t kBernoulliGrain = 8192;
+constexpr std::size_t kEngineGrain = 16;
+
+FailureRateEstimate make_estimate(std::size_t failures, std::size_t trials, double analytic) {
+  FailureRateEstimate estimate;
+  estimate.trials = trials;
+  estimate.empirical = static_cast<double>(failures) / static_cast<double>(trials);
+  estimate.analytic = analytic;
+  estimate.ci95 = util::wilson_interval(failures, trials);
+  estimate.ci95_half_width = estimate.ci95.half_width();
+  return estimate;
+}
+
+}  // namespace
+
 bool FailureRateEstimate::consistent(double slack) const {
-  return std::abs(empirical - analytic) <= slack + ci95_half_width;
+  return ci95.contains(analytic, slack);
 }
 
 FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
                                           const mapping::IntervalMapping& mapping,
                                           const MonteCarloOptions& options) {
   RELAP_ASSERT(options.trials >= 1, "need at least one trial");
-  util::Rng rng(options.seed);
-  std::size_t failures = 0;
-  for (std::size_t t = 0; t < options.trials; ++t) {
-    bool app_failed = false;
-    for (const mapping::IntervalAssignment& a : mapping.intervals()) {
-      bool group_wiped = true;
-      for (const platform::ProcessorId u : a.processors) {
-        if (!rng.bernoulli(platform.failure_prob(u))) {
-          group_wiped = false;
-          // Keep drawing the remaining replicas so the stream position does
-          // not depend on outcomes (reproducibility across refactors).
-        }
-      }
-      app_failed = app_failed || group_wiped;
-    }
-    failures += app_failed ? 1 : 0;
-  }
+  util::Rng root(options.seed);
+  const exec::ChunkGrid grid = exec::chunk_grid(options.trials, kBernoulliGrain);
+  const std::vector<util::Rng> chunk_rngs = root.split_n(grid.chunks);
 
-  FailureRateEstimate estimate;
-  estimate.trials = options.trials;
-  estimate.empirical = static_cast<double>(failures) / static_cast<double>(options.trials);
-  estimate.analytic = mapping::failure_probability(platform, mapping);
-  const double variance = estimate.empirical * (1.0 - estimate.empirical);
-  estimate.ci95_half_width =
-      1.96 * std::sqrt(variance / static_cast<double>(options.trials));
-  return estimate;
+  const std::size_t failures = exec::parallel_reduce(
+      options.trials, kBernoulliGrain, [] { return std::size_t{0}; },
+      [&](std::size_t& local_failures, std::size_t begin, std::size_t end, std::size_t chunk) {
+        util::Rng rng = chunk_rngs[chunk];
+        for (std::size_t t = begin; t < end; ++t) {
+          bool app_failed = false;
+          for (const mapping::IntervalAssignment& a : mapping.intervals()) {
+            bool group_wiped = true;
+            for (const platform::ProcessorId u : a.processors) {
+              if (!rng.bernoulli(platform.failure_prob(u))) {
+                group_wiped = false;
+                // Keep drawing the remaining replicas so the stream position
+                // does not depend on outcomes (reproducibility across
+                // refactors).
+              }
+            }
+            app_failed = app_failed || group_wiped;
+          }
+          local_failures += app_failed ? 1 : 0;
+        }
+      },
+      [](std::size_t& acc, std::size_t partial) { acc += partial; }, options.pool);
+
+  return make_estimate(failures, options.trials,
+                       mapping::failure_probability(platform, mapping));
 }
 
 TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
                       const mapping::IntervalMapping& mapping, const TrialOptions& options) {
   RELAP_ASSERT(options.trials >= 1, "need at least one trial");
-  util::Rng rng(options.seed);
+  util::Rng root(options.seed);
 
   SimOptions sim_options;
   sim_options.dataset_count = options.dataset_count;
@@ -59,27 +86,39 @@ TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platfo
   RELAP_ASSERT(!reference.application_failed, "the failure-free run cannot fail");
   const double horizon = std::max(reference.makespan * options.horizon_factor, 1e-9);
 
+  const exec::ChunkGrid grid = exec::chunk_grid(options.trials, kEngineGrain);
+  const std::vector<util::Rng> chunk_rngs = root.split_n(grid.chunks);
+
+  struct Accumulator {
+    std::size_t failures = 0;
+    util::StreamingStats latency;
+  };
+  const Accumulator totals = exec::parallel_reduce(
+      options.trials, kEngineGrain, [] { return Accumulator{}; },
+      [&](Accumulator& local, std::size_t begin, std::size_t end, std::size_t chunk) {
+        util::Rng rng = chunk_rngs[chunk];
+        for (std::size_t t = begin; t < end; ++t) {
+          util::Rng trial_rng = rng.split();
+          const FailureScenario scenario = FailureScenario::draw(platform, horizon, trial_rng);
+          const SimResult run = simulate(pipeline, platform, mapping, scenario, sim_options);
+          if (run.application_failed) {
+            ++local.failures;
+          } else {
+            local.latency.add(run.worst_latency());
+          }
+        }
+      },
+      [](Accumulator& acc, Accumulator&& partial) {
+        acc.failures += partial.failures;
+        acc.latency.merge(partial.latency);
+      },
+      options.pool);
+
   TrialStats stats;
   stats.failure_free_latency = reference.worst_latency();
-
-  std::size_t failures = 0;
-  for (std::size_t t = 0; t < options.trials; ++t) {
-    util::Rng trial_rng = rng.split();
-    const FailureScenario scenario = FailureScenario::draw(platform, horizon, trial_rng);
-    const SimResult run = simulate(pipeline, platform, mapping, scenario, sim_options);
-    if (run.application_failed) {
-      ++failures;
-    } else {
-      stats.latency.add(run.worst_latency());
-    }
-  }
-
-  stats.failure.trials = options.trials;
-  stats.failure.empirical = static_cast<double>(failures) / static_cast<double>(options.trials);
-  stats.failure.analytic = mapping::failure_probability(platform, mapping);
-  const double variance = stats.failure.empirical * (1.0 - stats.failure.empirical);
-  stats.failure.ci95_half_width =
-      1.96 * std::sqrt(variance / static_cast<double>(options.trials));
+  stats.failure = make_estimate(totals.failures, options.trials,
+                                mapping::failure_probability(platform, mapping));
+  stats.latency = totals.latency;
   return stats;
 }
 

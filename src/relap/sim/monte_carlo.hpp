@@ -22,21 +22,34 @@
 #include "relap/sim/engine.hpp"
 #include "relap/util/stats.hpp"
 
+namespace relap::exec {
+class ThreadPool;
+}  // namespace relap::exec
+
 namespace relap::sim {
 
 struct MonteCarloOptions {
   std::size_t trials = 100'000;
   std::uint64_t seed = 0xFEEDFACE12345ULL;
+  /// Pool for the parallel trial loop; null uses `exec::ThreadPool::shared()`.
+  /// Results are bit-identical at any thread count (fixed chunk grid,
+  /// per-chunk split RNG, index-order reduction).
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct FailureRateEstimate {
   double empirical = 0.0;
   double analytic = 0.0;
-  /// Normal-approximation 95% half-width of the empirical estimate.
+  /// Wilson score 95% interval of the empirical estimate. Unlike the normal
+  /// approximation it keeps a positive width when `empirical` is exactly 0
+  /// or 1, so `consistent()` cannot degenerate into an exact-equality check.
+  util::ProportionInterval ci95;
+  /// Half-width of `ci95` (kept as a field for reporting convenience).
   double ci95_half_width = 0.0;
   std::size_t trials = 0;
 
-  /// |empirical - analytic| <= slack + CI? (the tests' acceptance check)
+  /// Does the 95% interval, widened by `slack`, contain `analytic`?
+  /// (the tests' acceptance check)
   [[nodiscard]] bool consistent(double slack = 0.0) const;
 };
 
@@ -60,6 +73,8 @@ struct TrialOptions {
   /// Failure times are drawn uniform in [0, horizon_factor * failure-free
   /// makespan); a factor > 1 means failures can land after the run.
   double horizon_factor = 1.0;
+  /// Pool for the parallel trial loop; null uses `exec::ThreadPool::shared()`.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Full-engine Monte Carlo.

@@ -4,6 +4,13 @@
 
 namespace relap::util {
 
+std::vector<Rng> Rng::split_n(std::size_t count) {
+  std::vector<Rng> children;
+  children.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) children.push_back(split());
+  return children;
+}
+
 std::vector<std::size_t> iota_indices(std::size_t n) {
   std::vector<std::size_t> out(n);
   std::iota(out.begin(), out.end(), std::size_t{0});

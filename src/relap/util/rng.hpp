@@ -99,6 +99,12 @@ class Rng {
   /// replicate its own stream without long-range correlation.
   [[nodiscard]] Rng split() { return Rng((*this)() ^ 0xA5A5A5A5DEADBEEFULL); }
 
+  /// Derives `count` child generators by repeated `split()`, in index order.
+  /// This is the per-task RNG derivation of `exec::parallel_*`: the children
+  /// are pre-split serially, so handing child i to task i yields the same
+  /// streams at any thread count.
+  [[nodiscard]] std::vector<Rng> split_n(std::size_t count);
+
   /// Fisher-Yates shuffle of an index vector.
   void shuffle(std::vector<std::size_t>& values) {
     for (std::size_t i = values.size(); i > 1; --i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "relap/util/assert.hpp"
+
 namespace relap::util {
 
 double kahan_sum(std::span<const double> values) {
@@ -20,6 +22,23 @@ void StreamingStats::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * (n2 / n);
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double StreamingStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -30,6 +49,23 @@ double StreamingStats::stddev() const { return std::sqrt(variance()); }
 double StreamingStats::ci95_half_width() const {
   if (count_ < 2) return 0.0;
   return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  RELAP_ASSERT(trials >= 1, "wilson_interval needs at least one trial");
+  RELAP_ASSERT(successes <= trials, "more successes than trials");
+  const auto n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  ProportionInterval interval;
+  // At the degenerate rates the matching bound is exactly 0 (resp. 1);
+  // pin it so rounding residue cannot exclude a perfect analytic match.
+  interval.low = successes == 0 ? 0.0 : std::max(0.0, center - half);
+  interval.high = successes == trials ? 1.0 : std::min(1.0, center + half);
+  return interval;
 }
 
 bool approx_equal(double a, double b, double rel_tol, double abs_tol) {

@@ -39,6 +39,12 @@ class StreamingStats {
  public:
   void add(double x);
 
+  /// Folds `other` into this accumulator (Chan et al.'s pairwise update).
+  /// Deterministic: merging the same accumulators in the same order always
+  /// yields the same bits, which is how the parallel Monte-Carlo reduction
+  /// stays thread-count-invariant.
+  void merge(const StreamingStats& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
@@ -57,6 +63,27 @@ class StreamingStats {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// A two-sided confidence interval on a proportion.
+struct ProportionInterval {
+  double low = 0.0;
+  double high = 0.0;
+
+  [[nodiscard]] double center() const { return 0.5 * (low + high); }
+  [[nodiscard]] double half_width() const { return 0.5 * (high - low); }
+  [[nodiscard]] bool contains(double p, double slack = 0.0) const {
+    return p >= low - slack && p <= high + slack;
+  }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` hits out
+/// of `trials` draws (z defaults to the two-sided 95% quantile). Unlike the
+/// normal approximation, the interval keeps a positive width when the
+/// empirical rate is exactly 0 or 1, so consistency checks against an
+/// analytic probability stay meaningful at the extremes.
+/// Precondition: trials >= 1, successes <= trials.
+[[nodiscard]] ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                                 double z = 1.959963984540054);
 
 /// Relative-tolerance comparison used throughout the tests and Pareto logic:
 /// true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).

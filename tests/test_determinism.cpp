@@ -1,0 +1,191 @@
+// Determinism regression tests for the parallel solver hot paths: one seed
+// must yield bit-identical results at 1, 2 and 8 threads, on paper-scale
+// instances. These tests pin the exec subsystem's core contract — fixed
+// chunk grids, per-chunk split RNG streams, index-order reductions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relap/algorithms/annealing.hpp"
+#include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/local_search.hpp"
+#include "relap/algorithms/pareto_driver.hpp"
+#include "relap/exec/thread_pool.hpp"
+#include "relap/gen/paper_instances.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/sim/monte_carlo.hpp"
+
+namespace relap {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+void expect_same_estimate(const sim::FailureRateEstimate& a, const sim::FailureRateEstimate& b,
+                          std::size_t threads) {
+  EXPECT_EQ(a.empirical, b.empirical) << "threads=" << threads;
+  EXPECT_EQ(a.analytic, b.analytic) << "threads=" << threads;
+  EXPECT_EQ(a.ci95.low, b.ci95.low) << "threads=" << threads;
+  EXPECT_EQ(a.ci95.high, b.ci95.high) << "threads=" << threads;
+  EXPECT_EQ(a.trials, b.trials) << "threads=" << threads;
+}
+
+TEST(Determinism, FailureRateEstimateAcrossThreadCounts) {
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+
+  exec::ThreadPool serial(1);
+  sim::MonteCarloOptions options;
+  options.trials = 50'000;
+  options.pool = &serial;
+  const sim::FailureRateEstimate reference = sim::estimate_failure_rate(plat, mapping, options);
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    expect_same_estimate(sim::estimate_failure_rate(plat, mapping, options), reference, threads);
+  }
+}
+
+TEST(Determinism, EngineTrialStatsAcrossThreadCounts) {
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+
+  exec::ThreadPool serial(1);
+  sim::TrialOptions options;
+  options.trials = 600;
+  options.pool = &serial;
+  const sim::TrialStats reference = sim::run_trials(pipe, plat, mapping, options);
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const sim::TrialStats stats = sim::run_trials(pipe, plat, mapping, options);
+    expect_same_estimate(stats.failure, reference.failure, threads);
+    EXPECT_EQ(stats.failure_free_latency, reference.failure_free_latency) << "threads=" << threads;
+    EXPECT_EQ(stats.latency.count(), reference.latency.count()) << "threads=" << threads;
+    EXPECT_EQ(stats.latency.mean(), reference.latency.mean()) << "threads=" << threads;
+    EXPECT_EQ(stats.latency.variance(), reference.latency.variance()) << "threads=" << threads;
+    EXPECT_EQ(stats.latency.min(), reference.latency.min()) << "threads=" << threads;
+    EXPECT_EQ(stats.latency.max(), reference.latency.max()) << "threads=" << threads;
+  }
+}
+
+void expect_same_front(const std::vector<algorithms::ParetoSolution>& a,
+                       const std::vector<algorithms::ParetoSolution>& b, std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].latency, b[i].latency) << "threads=" << threads << " point " << i;
+    EXPECT_EQ(a[i].failure_probability, b[i].failure_probability)
+        << "threads=" << threads << " point " << i;
+    EXPECT_EQ(a[i].mapping, b[i].mapping) << "threads=" << threads << " point " << i;
+  }
+}
+
+TEST(Determinism, ExhaustiveParetoAcrossThreadCounts) {
+  // Figure 5 at paper scale: 2 stages on 11 processors — ~175k candidates.
+  const auto pipe = gen::fig5_pipeline();
+  const auto plat = gen::fig5_platform();
+
+  exec::ThreadPool serial(1);
+  algorithms::ExhaustiveOptions options;
+  options.pool = &serial;
+  const auto reference = algorithms::exhaustive_pareto(pipe, plat, options);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto outcome = algorithms::exhaustive_pareto(pipe, plat, options);
+    ASSERT_TRUE(outcome.has_value()) << "threads=" << threads;
+    EXPECT_EQ(outcome->evaluations, reference->evaluations) << "threads=" << threads;
+    expect_same_front(outcome->front, reference->front, threads);
+  }
+}
+
+TEST(Determinism, HeuristicParetoFrontAcrossThreadCounts) {
+  const auto pipe = gen::random_uniform_pipeline(6, 77);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 8;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 78);
+
+  exec::ThreadPool serial(1);
+  algorithms::ParetoDriverOptions options;
+  options.pool = &serial;
+  const auto reference = algorithms::heuristic_pareto_front(pipe, plat, options);
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    expect_same_front(algorithms::heuristic_pareto_front(pipe, plat, options), reference, threads);
+  }
+}
+
+TEST(Determinism, MultiStartAnnealingAcrossThreadCounts) {
+  const auto pipe = gen::random_uniform_pipeline(5, 41);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 6;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 42);
+  const algorithms::Solution start =
+      algorithms::evaluate(pipe, plat, mapping::IntervalMapping::single_interval(5, {0}));
+  const double cap = start.latency * 1.2;
+
+  exec::ThreadPool serial(1);
+  algorithms::AnnealingOptions options;
+  options.iterations = 2'000;
+  options.restarts = 4;
+  options.pool = &serial;
+  const algorithms::Solution reference =
+      algorithms::anneal_min_fp(pipe, plat, start, cap, options);
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const algorithms::Solution out = algorithms::anneal_min_fp(pipe, plat, start, cap, options);
+    EXPECT_EQ(out.mapping, reference.mapping) << "threads=" << threads;
+    EXPECT_EQ(out.latency, reference.latency) << "threads=" << threads;
+    EXPECT_EQ(out.failure_probability, reference.failure_probability) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, MultiStartLocalSearchAcrossThreadCounts) {
+  const auto pipe = gen::random_uniform_pipeline(5, 51);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 6;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 52);
+
+  std::vector<algorithms::Solution> starts;
+  starts.push_back(
+      algorithms::evaluate(pipe, plat, mapping::IntervalMapping::single_interval(5, {0})));
+  starts.push_back(
+      algorithms::evaluate(pipe, plat, mapping::IntervalMapping::single_interval(5, {1, 2})));
+  starts.push_back(
+      algorithms::evaluate(pipe, plat, mapping::IntervalMapping::single_interval(5, {3})));
+  const double cap = starts[0].latency * 1.5;
+
+  exec::ThreadPool serial(1);
+  algorithms::LocalSearchOptions options;
+  options.pool = &serial;
+  const algorithms::Solution reference =
+      algorithms::multi_start_local_search_min_fp(pipe, plat, starts, cap, options);
+
+  // The winner is never worse than any start under the comparator.
+  for (const algorithms::Solution& start : starts) {
+    EXPECT_FALSE(algorithms::better_min_fp(start, reference, cap));
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const algorithms::Solution out =
+        algorithms::multi_start_local_search_min_fp(pipe, plat, starts, cap, options);
+    EXPECT_EQ(out.mapping, reference.mapping) << "threads=" << threads;
+    EXPECT_EQ(out.latency, reference.latency) << "threads=" << threads;
+    EXPECT_EQ(out.failure_probability, reference.failure_probability) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace relap

@@ -1,0 +1,149 @@
+// Tests for exec/thread_pool.hpp and exec/parallel.hpp: every task runs
+// exactly once, exceptions propagate, nesting cannot deadlock, and the
+// chunked primitives are bit-deterministic across thread counts.
+
+#include "relap/exec/parallel.hpp"
+#include "relap/exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "relap/util/rng.hpp"
+
+namespace relap::exec {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& hit : hits) {
+      ASSERT_EQ(hit.load(), 1) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(4);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.run(16,
+                          [](std::size_t i) {
+                            if (i == 7) throw std::runtime_error("task 7 failed");
+                          }),
+                 std::runtime_error)
+        << "threads=" << threads;
+    // The pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    pool.run(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+TEST(ThreadPool, NestedRunsComplete) {
+  // The inner run()'s caller drains its own task space even when every pool
+  // thread is busy, so nesting terminates regardless of pool size.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 8);
+  pool.run(4, [&](std::size_t outer) {
+    pool.run(8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (const auto& hit : hits) ASSERT_EQ(hit.load(), 1);
+}
+
+TEST(ChunkGrid, PartitionsTheIndexSpace) {
+  const ChunkGrid grid = chunk_grid(10, 3);
+  EXPECT_EQ(grid.chunks, 4u);
+  EXPECT_EQ(grid.begin(0), 0u);
+  EXPECT_EQ(grid.end(0), 3u);
+  EXPECT_EQ(grid.begin(3), 9u);
+  EXPECT_EQ(grid.end(3), 10u);
+  EXPECT_EQ(chunk_grid(0, 5).chunks, 0u);
+  EXPECT_EQ(chunk_grid(5, 5).chunks, 1u);
+  EXPECT_EQ(chunk_grid(6, 5).chunks, 2u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnceAtAnyThreadCount) {
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(777);
+    parallel_for(hits.size(), 10, [&](std::size_t i) { ++hits[i]; }, &pool);
+    for (const auto& hit : hits) {
+      ASSERT_EQ(hit.load(), 1) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelReduce, MergesChunksInIndexOrder) {
+  // The reduction concatenates chunk indices; index-order merging must
+  // reproduce 0, 1, ..., chunks-1 exactly, at any thread count.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto order = parallel_reduce(
+        100, 7, [] { return std::vector<std::size_t>{}; },
+        [](std::vector<std::size_t>& acc, std::size_t, std::size_t, std::size_t chunk) {
+          acc.push_back(chunk);
+        },
+        [](std::vector<std::size_t>& acc, std::vector<std::size_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        },
+        &pool);
+    const ChunkGrid grid = chunk_grid(100, 7);
+    ASSERT_EQ(order.size(), grid.chunks) << "threads=" << threads;
+    for (std::size_t c = 0; c < order.size(); ++c) {
+      ASSERT_EQ(order[c], c) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelReduce, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  // Floating-point addition is not associative; bit-equality across thread
+  // counts holds only because the chunk grid and merge order are fixed.
+  std::vector<double> values(10'000);
+  util::Rng rng(2026);
+  for (double& v : values) v = rng.uniform(-1.0, 1.0);
+
+  auto sum_with = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return parallel_reduce(
+        values.size(), 128, [] { return 0.0; },
+        [&](double& acc, std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        },
+        [](double& acc, double part) { acc += part; }, &pool);
+  };
+
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(5));
+  EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST(Rng, SplitNMatchesSequentialSplits) {
+  util::Rng a(123);
+  util::Rng b(123);
+  std::vector<util::Rng> children = a.split_n(5);
+  ASSERT_EQ(children.size(), 5u);
+  for (util::Rng& child : children) {
+    util::Rng expected = b.split();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_EQ(child(), expected());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relap::exec

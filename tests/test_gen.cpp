@@ -79,7 +79,9 @@ TEST(GenPlatforms, DeterministicPerSeed) {
     EXPECT_DOUBLE_EQ(a.failure_prob(u), b.failure_prob(u));
     EXPECT_DOUBLE_EQ(a.bandwidth_in(u), b.bandwidth_in(u));
     for (platform::ProcessorId v = 0; v < 4; ++v) {
-      if (u != v) EXPECT_DOUBLE_EQ(a.bandwidth(u, v), b.bandwidth(u, v));
+      if (u != v) {
+        EXPECT_DOUBLE_EQ(a.bandwidth(u, v), b.bandwidth(u, v));
+      }
     }
   }
 }

@@ -27,7 +27,9 @@ void expect_instances_equal(const Instance& a, const Instance& b) {
     EXPECT_DOUBLE_EQ(pa.bandwidth_in(u), pb.bandwidth_in(u));
     EXPECT_DOUBLE_EQ(pa.bandwidth_out(u), pb.bandwidth_out(u));
     for (platform::ProcessorId v = 0; v < pa.processor_count(); ++v) {
-      if (u != v) EXPECT_DOUBLE_EQ(pa.bandwidth(u, v), pb.bandwidth(u, v));
+      if (u != v) {
+        EXPECT_DOUBLE_EQ(pa.bandwidth(u, v), pb.bandwidth(u, v));
+      }
     }
   }
 }

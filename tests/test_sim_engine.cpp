@@ -113,7 +113,9 @@ TEST(SimEngine, FailAfterReceivePaysTheTransferButNotTheCompute) {
   EXPECT_DOUBLE_EQ(r.datasets[0].completion_time, 11.0);
   // Replica 0's compute must be recorded as failed or not at all.
   for (const TraceOp& op : trace.ops()) {
-    if (op.kind == OpKind::Compute && op.subject == 0) EXPECT_FALSE(op.completed);
+    if (op.kind == OpKind::Compute && op.subject == 0) {
+      EXPECT_FALSE(op.completed);
+    }
   }
 }
 

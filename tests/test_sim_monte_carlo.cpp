@@ -101,6 +101,57 @@ TEST(MonteCarloEngine, ZeroFailureProcessorsAlwaysSucceed) {
   EXPECT_EQ(stats.latency.count(), 100u);
 }
 
+TEST(MonteCarlo, DegenerateZeroRateKeepsPositiveCiWidth) {
+  // All-zero failure probabilities: the empirical rate is exactly 0. The old
+  // normal-approximation CI collapsed to width 0 here, which made
+  // consistent() an exact-equality check; the Wilson interval keeps a
+  // positive upper bound of about z^2 / (n + z^2).
+  const auto plat = platform::make_fully_homogeneous(2, 1.0, 1.0, 0.0);
+  const auto m = mapping::IntervalMapping::single_interval(2, {0, 1});
+  MonteCarloOptions options;
+  options.trials = 50;
+  const FailureRateEstimate est = estimate_failure_rate(plat, m, options);
+  EXPECT_DOUBLE_EQ(est.empirical, 0.0);
+  EXPECT_DOUBLE_EQ(est.analytic, 0.0);
+  EXPECT_GT(est.ci95_half_width, 0.0);
+  EXPECT_GT(est.ci95.high, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci95.low, 0.0);
+  EXPECT_TRUE(est.consistent());
+  // A tiny-but-nonzero analytic FP within the interval must also be accepted
+  // even with slack 0 — the degenerate case the normal CI got wrong.
+  FailureRateEstimate tiny = est;
+  tiny.analytic = 1e-3;
+  EXPECT_TRUE(tiny.consistent());
+}
+
+TEST(MonteCarlo, DegenerateCertainFailureKeepsPositiveCiWidth) {
+  const auto plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 1.0);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+  MonteCarloOptions options;
+  options.trials = 50;
+  const FailureRateEstimate est = estimate_failure_rate(plat, m, options);
+  EXPECT_DOUBLE_EQ(est.empirical, 1.0);
+  EXPECT_DOUBLE_EQ(est.analytic, 1.0);
+  EXPECT_GT(est.ci95_half_width, 0.0);
+  EXPECT_LT(est.ci95.low, 1.0);
+  EXPECT_DOUBLE_EQ(est.ci95.high, 1.0);
+  EXPECT_TRUE(est.consistent());
+  FailureRateEstimate near_one = est;
+  near_one.analytic = 1.0 - 1e-3;
+  EXPECT_TRUE(near_one.consistent());
+}
+
+TEST(MonteCarlo, ConsistentRejectsFarOffAnalyticValues) {
+  const auto plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 0.3);
+  const auto m = mapping::IntervalMapping::single_interval(1, {0});
+  MonteCarloOptions options;
+  options.trials = 100'000;
+  FailureRateEstimate est = estimate_failure_rate(plat, m, options);
+  est.analytic = 0.5;  // far outside the ~0.3 +- 0.003 interval
+  EXPECT_FALSE(est.consistent());
+  EXPECT_TRUE(est.consistent(0.25));  // slack widens the acceptance band
+}
+
 TEST(MonteCarlo, DeterministicPerSeed) {
   const auto plat = gen::fig5_platform();
   const auto m = gen::fig5_two_interval_mapping();

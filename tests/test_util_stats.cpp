@@ -76,6 +76,68 @@ TEST(StreamingStats, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
 }
 
+TEST(StreamingStats, MergeMatchesSequentialMoments) {
+  StreamingStats sequential;
+  StreamingStats left;
+  StreamingStats right;
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.0, 12.5};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sequential.add(values[i]);
+    (i < 4 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats stats;
+  stats.add(3.0);
+  stats.add(5.0);
+  StreamingStats empty;
+  StreamingStats copy = stats;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 4.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+}
+
+TEST(WilsonInterval, CoversTheEmpiricalRate) {
+  const ProportionInterval interval = wilson_interval(30, 100);
+  EXPECT_LT(interval.low, 0.3);
+  EXPECT_GT(interval.high, 0.3);
+  EXPECT_TRUE(interval.contains(0.3));
+  EXPECT_FALSE(interval.contains(0.5));
+  EXPECT_TRUE(interval.contains(0.5, 0.2));
+}
+
+TEST(WilsonInterval, DegenerateEndpointsKeepPositiveWidth) {
+  const ProportionInterval none = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_GT(none.high, 0.0);
+  EXPECT_LT(none.high, 0.1);
+  const ProportionInterval all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_GT(all.low, 0.9);
+  // One trial: maximally wide but still a proper subinterval of [0, 1].
+  const ProportionInterval one = wilson_interval(1, 1);
+  EXPECT_GT(one.half_width(), 0.2);
+  EXPECT_LE(one.high, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  EXPECT_GT(wilson_interval(5, 10).half_width(), wilson_interval(500, 1000).half_width());
+  EXPECT_GT(wilson_interval(0, 10).high, wilson_interval(0, 10'000).high);
+}
+
 TEST(ApproxEqual, Basics) {
   EXPECT_TRUE(approx_equal(1.0, 1.0));
   EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
