@@ -37,7 +37,7 @@ void print_scaling_row(std::size_t threads, double seconds, double serial_second
               seconds > 0.0 ? serial_seconds / seconds : 0.0);
 }
 
-void monte_carlo_scaling() {
+void monte_carlo_scaling(benchutil::JsonReport& report) {
   benchutil::header("Monte-Carlo trial scaling (fig5 two-interval mapping, 2M trials)");
   const auto plat = gen::fig5_platform();
   const auto mapping = gen::fig5_two_interval_mapping();
@@ -47,6 +47,8 @@ void monte_carlo_scaling() {
 
   double serial_seconds = 0.0;
   sim::FailureRateEstimate reference;
+  std::vector<double> times;
+  std::vector<double> trials_per_sec;
   std::printf("threads    time(s)   speedup  result\n");
   for (const std::size_t threads : kThreadCounts) {
     exec::ThreadPool pool(threads);
@@ -63,9 +65,20 @@ void monte_carlo_scaling() {
                      estimate.ci95.high == reference.ci95.high,
                  "parallel Monte-Carlo result differs from the serial run");
     print_scaling_row(threads, elapsed, serial_seconds);
+    times.push_back(elapsed);
+    trials_per_sec.push_back(elapsed > 0.0 ? static_cast<double>(options.trials) / elapsed : 0.0);
   }
   std::printf("empirical FP %.6f vs analytic %.6f (consistent: %s)\n", reference.empirical,
               reference.analytic, reference.consistent(0.005) ? "yes" : "NO");
+
+  benchutil::Checksum checksum;
+  checksum.add(reference.empirical);
+  checksum.add(reference.ci95.low);
+  checksum.add(reference.ci95.high);
+  report.field("mc_trials", static_cast<std::uint64_t>(options.trials))
+      .field("mc_time_s", std::span<const double>(times))
+      .field("mc_trials_per_sec", std::span<const double>(trials_per_sec))
+      .field("mc_checksum", checksum.hex());
 }
 
 void engine_trials_scaling() {
@@ -99,7 +112,7 @@ void engine_trials_scaling() {
   }
 }
 
-void exhaustive_scaling() {
+void exhaustive_scaling(benchutil::JsonReport& report) {
   // 6 stages on 7 comm-homogeneous processors: 543,607 interval mappings.
   benchutil::header("Exhaustive enumeration scaling (n=6 stages, m=7 processors)");
   const auto pipe = gen::random_uniform_pipeline(6, 2008);
@@ -107,12 +120,15 @@ void exhaustive_scaling() {
   gen_options.processors = 7;
   const auto plat = gen::random_comm_hom_het_failures(gen_options, 2009);
 
+  const std::uint64_t candidates = algorithms::interval_mapping_count(6, 7);
   std::printf("search space: %llu interval mappings\n",
-              static_cast<unsigned long long>(algorithms::interval_mapping_count(6, 7)));
+              static_cast<unsigned long long>(candidates));
 
   algorithms::ExhaustiveOptions options;
   double serial_seconds = 0.0;
   std::vector<algorithms::ParetoSolution> reference;
+  std::vector<double> times;
+  std::vector<double> candidates_per_sec;
   std::printf("threads    time(s)   speedup  result\n");
   for (const std::size_t threads : kThreadCounts) {
     exec::ThreadPool pool(threads);
@@ -135,17 +151,37 @@ void exhaustive_scaling() {
                    "parallel exhaustive front differs from the serial run");
     }
     print_scaling_row(threads, elapsed, serial_seconds);
+    times.push_back(elapsed);
+    candidates_per_sec.push_back(elapsed > 0.0 ? static_cast<double>(candidates) / elapsed : 0.0);
   }
   std::printf("Pareto front: %zu points\n", reference.size());
+
+  benchutil::Checksum checksum;
+  for (const algorithms::ParetoSolution& point : reference) {
+    checksum.add(point.latency);
+    checksum.add(point.failure_probability);
+    checksum.add(point.mapping.describe());
+  }
+  report.field("exhaustive_candidates", candidates)
+      .field("exhaustive_time_s", std::span<const double>(times))
+      .field("exhaustive_candidates_per_sec", std::span<const double>(candidates_per_sec))
+      .field("exhaustive_front_points", static_cast<std::uint64_t>(reference.size()))
+      .field("exhaustive_front_checksum", checksum.hex());
 }
 
 void print_tables() {
   std::printf("hardware_concurrency: %u (speedups need the physical cores; "
               "results are identical regardless)\n",
               std::thread::hardware_concurrency());
-  monte_carlo_scaling();
+  benchutil::JsonReport report("parallel_scaling");
+  const std::vector<std::uint64_t> threads(std::begin(kThreadCounts), std::end(kThreadCounts));
+  report.field("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  report.field("threads", std::span<const std::uint64_t>(threads));
+  monte_carlo_scaling(report);
   engine_trials_scaling();
-  exhaustive_scaling();
+  exhaustive_scaling(report);
+  report.write();
 }
 
 void BM_EstimateFailureRate(benchmark::State& state) {

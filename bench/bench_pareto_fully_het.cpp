@@ -3,7 +3,9 @@
 // heuristic suite's front, with front-quality ratios, plus timings showing
 // the exhaustive wall.
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "relap/algorithms/exhaustive.hpp"
@@ -20,21 +22,58 @@ void print_tables() {
   benchutil::header("Pareto fronts on Fully Heterogeneous instances: heuristic vs exact");
   std::printf("%-6s %-12s %-12s %-14s\n", "seed", "exact pts", "suite pts", "FP ratio");
   util::StreamingStats ratios;
+  benchutil::Checksum checksum;
+  std::vector<std::uint64_t> exact_points;
+  std::vector<std::uint64_t> suite_points;
+  std::uint64_t evaluations = 0;
+  // candidates_per_sec must mean kernel throughput: time only the
+  // exhaustive_pareto calls, not generation / heuristics / printing.
+  double exhaustive_seconds = 0.0;
+  const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     const auto pipe = gen::random_uniform_pipeline(3, seed);
     gen::PlatformGenOptions options;
     options.processors = 4;
     const auto plat = gen::random_fully_heterogeneous(options, seed * 89);
+    const auto exact_start = std::chrono::steady_clock::now();
     const auto exact = algorithms::exhaustive_pareto(pipe, plat);
+    exhaustive_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - exact_start).count();
     if (!exact) continue;
     const auto suite = algorithms::heuristic_pareto_front(pipe, plat);
     const double ratio = algorithms::front_fp_ratio(suite, exact->front);
     ratios.add(ratio);
     std::printf("%-6llu %-12zu %-12zu %-14.4f\n", static_cast<unsigned long long>(seed),
                 exact->front.size(), suite.size(), ratio);
+    evaluations += exact->evaluations;
+    exact_points.push_back(exact->front.size());
+    suite_points.push_back(suite.size());
+    for (const auto& p : exact->front) {
+      checksum.add(p.latency);
+      checksum.add(p.failure_probability);
+      checksum.add(p.mapping.describe());
+    }
   }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   std::printf("mean FP ratio over the exact front: %.4f (1.0 = matches everywhere)\n",
               ratios.mean());
+
+  benchutil::JsonReport report("pareto_fully_het");
+  report.field("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .field("seeds", std::uint64_t{8})
+      .field("wall_time_s", elapsed)
+      .field("exhaustive_time_s", exhaustive_seconds)
+      .field("exhaustive_candidates", evaluations)
+      .field("candidates_per_sec",
+             exhaustive_seconds > 0.0 ? static_cast<double>(evaluations) / exhaustive_seconds
+                                      : 0.0)
+      .field("mean_fp_ratio", ratios.mean())
+      .field("exact_front_points", std::span<const std::uint64_t>(exact_points))
+      .field("suite_front_points", std::span<const std::uint64_t>(suite_points))
+      .field("front_checksum", checksum.hex());
+  report.write();
 
   benchutil::header("one full front, printed (seed 1)");
   const auto pipe = gen::random_uniform_pipeline(3, 1);

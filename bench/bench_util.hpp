@@ -4,10 +4,21 @@
 /// Shared scaffolding for the bench binaries: every bench prints its
 /// paper-shaped table(s) first (the reproduction artifact EXPERIMENTS.md
 /// records), then runs its google-benchmark timings.
+///
+/// Benches also emit a machine-readable `BENCH_<name>.json` artifact via
+/// `JsonReport` — flat key/value plus numeric arrays, enough for a CI
+/// trajectory to track candidates/sec, wall times, thread counts and result
+/// checksums without parsing the human tables.
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
 /// Declares main(): print the reproduction tables, then run the registered
 /// google-benchmark timings.
@@ -28,5 +39,127 @@ inline void header(const char* title) {
 }
 
 inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// FNV-1a 64-bit fingerprint over double bit patterns, integers and strings.
+/// Used to pin a bench's result front in its JSON artifact: two runs agree
+/// on the checksum iff they produced bit-identical results in the same
+/// order, which is exactly the determinism contract CI exercises.
+class Checksum {
+ public:
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFFU;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+
+  void add(std::string_view s) {
+    for (const char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+  /// "0x"-prefixed hex form for JSON string fields.
+  [[nodiscard]] std::string hex() const {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buffer;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+/// Minimal JSON object writer for the `BENCH_<name>.json` artifacts.
+/// Supports the flat shapes the benches need: scalar fields and numeric
+/// arrays. Doubles print with %.17g so the artifact round-trips exactly.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    body_ += "{\n  \"bench\": \"" + name_ + '"';
+  }
+
+  JsonReport& field(const char* key, double value) {
+    begin_field(key);
+    body_ += number(value);
+    return *this;
+  }
+
+  JsonReport& field(const char* key, std::uint64_t value) {
+    begin_field(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonReport& field(const char* key, const std::string& value) {
+    begin_field(key);
+    body_ += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+    body_ += '"';
+    return *this;
+  }
+
+  JsonReport& field(const char* key, std::span<const double> values) {
+    begin_field(key);
+    body_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) body_ += ", ";
+      body_ += number(values[i]);
+    }
+    body_ += ']';
+    return *this;
+  }
+
+  JsonReport& field(const char* key, std::span<const std::uint64_t> values) {
+    begin_field(key);
+    body_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) body_ += ", ";
+      body_ += std::to_string(values[i]);
+    }
+    body_ += ']';
+    return *this;
+  }
+
+  /// Writes `BENCH_<name>.json` into the working directory and reports the
+  /// path on stdout so bench logs point at their artifacts.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fputs(body_.c_str(), out);
+    std::fputs("\n}\n", out);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  void begin_field(const char* key) {
+    body_ += ",\n  \"";
+    body_ += key;
+    body_ += "\": ";
+  }
+
+  static std::string number(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+  }
+
+  std::string name_;
+  std::string body_;
+};
 
 }  // namespace relap::benchutil

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "relap/exec/parallel.hpp"
+#include "relap/mapping/mapping_view.hpp"
 #include "relap/mapping/throughput.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/enumeration.hpp"
@@ -16,116 +17,203 @@ namespace relap::algorithms {
 
 namespace {
 
-/// Number of grouping callbacks the interval enumerator makes, from the
-/// closed form sum_p C(n-1, p-1) * count_groupings(m, p), saturating.
+using util::kSaturated;
+
+/// Candidates per parallel chunk. Fixed (never derived from the thread
+/// count) so the chunk grid — and therefore the merge order and the result —
+/// is identical at any thread count.
+constexpr std::size_t kCandidatesPerChunk = 1024;
+
+/// One interval count's slice of the flat candidate index space:
+/// C(n-1, p-1) compositions x count_groupings(m, p) groupings, candidates
+/// ordered composition-major within the slice.
+struct PBlock {
+  std::uint64_t start;  ///< flat index of the block's first candidate
+  util::CompositionIndexer compositions;
+  util::GroupingIndexer groupings;
+};
+
+/// The flat candidate index space [0, total): p-blocks in increasing p.
+/// Rank/unrank over this space lets the parallel driver cut uniform chunks
+/// of candidates regardless of how candidates distribute over compositions —
+/// the load-balance fix for instances with few compositions.
+///
+/// `total` is computed with saturating arithmetic and is the single source
+/// of truth for the budget decision: a saturated total means the block
+/// offsets are meaningless, so callers must reject it before enumerating.
 /// Equals the evaluation count the pre-parallel streaming enumerator charged
-/// against its budget, so the budget decision is unchanged — it is just made
-/// in O(max_parts) before any candidate is evaluated.
-std::uint64_t count_enumeration_callbacks(std::size_t n, std::size_t m, std::size_t max_parts) {
-  constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+/// against its budget, so the budget decision is unchanged.
+struct CandidateSpace {
+  std::vector<PBlock> blocks;
   std::uint64_t total = 0;
+};
+
+CandidateSpace build_candidate_space(std::size_t n, std::size_t m, std::size_t max_parts) {
+  CandidateSpace space;
+  std::uint64_t start = 0;
   for (std::size_t p = 1; p <= max_parts; ++p) {
-    const std::uint64_t compositions = util::binomial(n - 1, p - 1);
-    const std::uint64_t groupings = util::count_groupings(m, p);
-    if (compositions != 0 && groupings > kSaturated / compositions) return kSaturated;
-    const std::uint64_t product = compositions * groupings;
-    if (product > kSaturated - total) return kSaturated;
-    total += product;
+    util::CompositionIndexer compositions(n, p);
+    util::GroupingIndexer groupings(m, p);
+    const std::uint64_t count = util::sat_mul(compositions.count(), groupings.count());
+    if (count == 0) continue;
+    space.blocks.push_back(PBlock{start, std::move(compositions), std::move(groupings)});
+    start = util::sat_add(start, count);
   }
-  return total;
+  space.total = start;
+  return space;
 }
 
-/// Enumerates every interval mapping within the options' structural caps,
-/// evaluating candidates in parallel on the options' pool.
+/// Walks candidates of a `CandidateSpace` in flat-index order, keeping the
+/// evaluation scratch's composition cache in sync. `seek` unranks an
+/// arbitrary start; `advance` steps to the successor with the amortized-O(p)
+/// lexicographic `next`, re-deriving the composition only on wrap.
+class CandidateCursor {
+ public:
+  CandidateCursor(const CandidateSpace& space, const pipeline::Pipeline& pipeline,
+                  mapping::EvalScratch& scratch)
+      : space_(space), pipeline_(pipeline), scratch_(scratch) {}
+
+  void seek(std::uint64_t flat_index) {
+    block_ = 0;
+    while (block_ + 1 < space_.blocks.size() && space_.blocks[block_ + 1].start <= flat_index) {
+      ++block_;
+    }
+    const PBlock& b = space_.blocks[block_];
+    const std::uint64_t local = flat_index - b.start;
+    composition_rank_ = local / b.groupings.count();
+    load_composition();
+    group_of_.resize(b.groupings.items());
+    group_sizes_.resize(b.groupings.groups());
+    b.groupings.unrank(local % b.groupings.count(), group_of_, group_sizes_);
+  }
+
+  /// Steps to the next candidate. Precondition: not at the last candidate.
+  void advance() {
+    const PBlock* b = &space_.blocks[block_];
+    if (b->groupings.next(group_of_, group_sizes_)) return;
+    if (++composition_rank_ == b->compositions.count()) {
+      ++block_;
+      b = &space_.blocks[block_];
+      composition_rank_ = 0;
+      group_of_.resize(b->groupings.items());
+      group_sizes_.resize(b->groupings.groups());
+    }
+    load_composition();
+    b->groupings.unrank(0, group_of_, group_sizes_);
+  }
+
+  [[nodiscard]] std::span<const std::size_t> group_sizes() const { return group_sizes_; }
+  [[nodiscard]] std::span<const std::size_t> group_of() const { return group_of_; }
+
+ private:
+  void load_composition() {
+    space_.blocks[block_].compositions.unrank(composition_rank_, lengths_);
+    scratch_.set_composition(pipeline_, lengths_);
+  }
+
+  const CandidateSpace& space_;
+  const pipeline::Pipeline& pipeline_;
+  mapping::EvalScratch& scratch_;
+  std::size_t block_ = 0;
+  std::uint64_t composition_rank_ = 0;
+  std::vector<std::size_t> lengths_;
+  std::vector<std::size_t> group_of_;
+  std::vector<std::size_t> group_sizes_;
+};
+
+/// Enumerates every interval mapping within the options' structural caps
+/// through the zero-allocation evaluation kernel, in parallel on the
+/// options' pool.
 ///
-/// Work is split by composition (stage partition): compositions are streamed
-/// in fixed-size blocks, each block's compositions are expanded and evaluated
-/// concurrently (one composition per task) into per-composition accumulators,
-/// and the accumulators are merged serially in enumeration order — so the
-/// result is identical at any thread count, and matches a serial left fold
-/// of `visit` over the enumeration order up to `merge` associativity.
+/// The flat (composition x grouping) index space is cut into fixed
+/// `kCandidatesPerChunk`-sized chunks; each chunk seeks its start by
+/// rank/unrank, walks candidates with the lexicographic successor, evaluates
+/// through `mapping::evaluate_view` on per-chunk scratch, and folds into a
+/// per-chunk accumulator; accumulators merge serially in chunk-index order.
+/// Results are therefore identical at any thread count, and chunks are
+/// uniform in candidate count even when one composition dominates the space.
+///
+/// `visit(acc, scratch, eval)` sees each candidate's objectives plus the
+/// scratch (for `view()`, `cache()`, `period_view`, `materialize`); it must
+/// not retain the view past the call.
 ///
 /// Returns false iff the candidate count exceeds the evaluation budget (in
 /// which case nothing is evaluated).
-template <typename Acc, typename Visit>
+template <typename Acc, typename Visit, typename Merge>
 bool parallel_interval_enumeration(const pipeline::Pipeline& pipeline,
                                    const platform::Platform& platform,
-                                   const ExhaustiveOptions& options, Acc& out,
-                                   const Visit& visit,
-                                   const std::function<void(Acc&, Acc&&)>& merge) {
+                                   const ExhaustiveOptions& options, Acc& out, const Visit& visit,
+                                   const Merge& merge) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   const std::size_t max_parts = std::min({n, m, options.max_intervals});
-  if (count_enumeration_callbacks(n, m, max_parts) > options.max_evaluations) return false;
-
-  constexpr std::size_t kCompositionsPerBlock = 1024;
-  std::vector<std::vector<std::size_t>> block;
-  block.reserve(kCompositionsPerBlock);
-
-  auto flush_block = [&] {
-    if (block.empty()) return;
-    Acc block_acc = exec::parallel_reduce(
-        block.size(), 1, [] { return Acc(); },
-        [&](Acc& local, std::size_t begin, std::size_t end, std::size_t) {
-          for (std::size_t c = begin; c < end; ++c) {
-            const std::vector<std::size_t>& lengths = block[c];
-            const std::size_t p = lengths.size();
-            util::for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
-              std::vector<std::vector<platform::ProcessorId>> groups(p);
-              for (platform::ProcessorId u = 0; u < m; ++u) {
-                if (group_of[u] < p) groups[group_of[u]].push_back(u);
-              }
-              for (const auto& g : groups) {
-                if (g.size() > options.max_replication) return true;  // skip, keep enumerating
-              }
-              visit(local,
-                    evaluate(pipeline, platform,
-                             mapping::IntervalMapping::from_composition(lengths,
-                                                                       std::move(groups))));
-              return true;
-            });
+  const CandidateSpace space = build_candidate_space(n, m, max_parts);
+  // A saturated total is over budget by definition: even max_evaluations ==
+  // UINT64_MAX cannot admit it, and its block offsets are meaningless.
+  if (space.total == kSaturated || space.total > options.max_evaluations) return false;
+  out = exec::parallel_reduce(
+      space.total, kCandidatesPerChunk, [] { return Acc(); },
+      [&](Acc& local, std::size_t begin, std::size_t end, std::size_t) {
+        mapping::EvalScratch scratch(n, m);
+        CandidateCursor cursor(space, pipeline, scratch);
+        cursor.seek(begin);
+        for (std::size_t idx = begin;; ++idx) {
+          const std::span<const std::size_t> sizes = cursor.group_sizes();
+          if (std::none_of(sizes.begin(), sizes.end(),
+                           [&](std::size_t s) { return s > options.max_replication; })) {
+            scratch.set_grouping(cursor.group_of(), sizes);
+            const mapping::ViewEval eval =
+                mapping::evaluate_view(platform, scratch.view(), scratch.cache());
+            visit(local, scratch, eval);
           }
-        },
-        merge, options.pool);
-    merge(out, std::move(block_acc));
-    block.clear();
-  };
-
-  util::for_each_composition(n, max_parts, [&](std::span<const std::size_t> lengths) {
-    block.emplace_back(lengths.begin(), lengths.end());
-    if (block.size() == kCompositionsPerBlock) flush_block();
-    return true;
-  });
-  flush_block();
+          if (idx + 1 == end) break;
+          cursor.advance();
+        }
+      },
+      merge, options.pool);
   return true;
 }
 
 /// Accumulator for the single-best entry points: the incumbent under a
-/// comparator. Merging keeps the earlier (lower enumeration order)
-/// accumulator's incumbent on ties, matching the serial first-wins rule.
+/// comparator, with its comparator-visible objectives cached so candidates
+/// are compared without touching the incumbent's mapping. Merging keeps the
+/// earlier (lower enumeration order) accumulator's incumbent on ties,
+/// matching the serial first-wins rule.
 struct BestAccumulator {
   std::optional<Solution> best;
+  Objectives objectives;  ///< valid iff `best`
 };
 
-using Comparator = bool (*)(const Solution&, const Solution&, double);
+using ValueComparator = bool (*)(const Objectives&, const Objectives&, double);
 
 /// Shared driver for the single-best entry points: enumerates all interval
 /// mappings, keeps the best admitted solution under `better` with `cap`.
+/// `admit(scratch, eval)` applies the entry point's feasibility filter.
 /// Returns false iff the candidate count exceeds the evaluation budget.
+template <typename Admit>
 bool enumerate_best(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-                    const ExhaustiveOptions& options, double cap, Comparator better,
-                    const std::function<bool(const Solution&)>& admit,
-                    std::optional<Solution>& best) {
+                    const ExhaustiveOptions& options, double cap, ValueComparator better,
+                    const Admit& admit, std::optional<Solution>& best) {
   BestAccumulator acc;
-  const bool completed = parallel_interval_enumeration<BestAccumulator>(
+  const bool completed = parallel_interval_enumeration(
       pipeline, platform, options, acc,
-      [&](BestAccumulator& local, Solution s) {
-        if (!admit(s)) return;
-        if (!local.best || better(s, *local.best, cap)) local.best = std::move(s);
+      [&](BestAccumulator& local, const mapping::EvalScratch& scratch,
+          const mapping::ViewEval& eval) {
+        if (!admit(scratch, eval)) return;
+        const Objectives candidate{eval.latency, eval.failure_probability,
+                                   scratch.view().processors_used()};
+        if (!local.best || better(candidate, local.objectives, cap)) {
+          local.best = Solution{mapping::materialize(scratch.view()), eval.latency,
+                                eval.failure_probability};
+          local.objectives = candidate;
+        }
       },
       [&](BestAccumulator& into, BestAccumulator&& from) {
         if (!from.best) return;
-        if (!into.best || better(*from.best, *into.best, cap)) into.best = std::move(from.best);
+        if (!into.best || better(from.objectives, into.objectives, cap)) {
+          into.best = std::move(from.best);
+          into.objectives = from.objectives;
+        }
       });
   best = std::move(acc.best);
   return completed;
@@ -147,14 +235,15 @@ util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeli
     std::uint64_t evaluations = 0;
   };
   FrontAccumulator acc;
-  const bool completed = parallel_interval_enumeration<FrontAccumulator>(
+  const bool completed = parallel_interval_enumeration(
       pipeline, platform, options, acc,
-      [](FrontAccumulator& local, Solution s) {
+      [](FrontAccumulator& local, const mapping::EvalScratch& scratch,
+         const mapping::ViewEval& eval) {
         ++local.evaluations;
-        const util::ParetoPoint point{s.latency, s.failure_probability, local.pool.size()};
+        const util::ParetoPoint point{eval.latency, eval.failure_probability, local.pool.size()};
         if (local.front.insert(point)) {
-          local.pool.push_back(
-              ParetoSolution{s.latency, s.failure_probability, std::move(s.mapping)});
+          local.pool.push_back(ParetoSolution{eval.latency, eval.failure_probability,
+                                              mapping::materialize(scratch.view())});
         }
       },
       [](FrontAccumulator& into, FrontAccumulator&& from) {
@@ -182,7 +271,10 @@ Result exhaustive_min_fp_for_latency(const pipeline::Pipeline& pipeline,
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_latency, &better_min_fp,
-      [&](const Solution& s) { return within_cap(s.latency, max_latency); }, best);
+      [&](const mapping::EvalScratch&, const mapping::ViewEval& eval) {
+        return within_cap(eval.latency, max_latency);
+      },
+      best);
   if (!completed) return budget_error(options);
   if (!best) {
     return util::infeasible("no interval mapping meets latency threshold " +
@@ -198,7 +290,9 @@ Result exhaustive_min_latency_for_fp(const pipeline::Pipeline& pipeline,
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_failure_probability, &better_min_latency,
-      [&](const Solution& s) { return within_cap(s.failure_probability, max_failure_probability); },
+      [&](const mapping::EvalScratch&, const mapping::ViewEval& eval) {
+        return within_cap(eval.failure_probability, max_failure_probability);
+      },
       best);
   if (!completed) return budget_error(options);
   if (!best) {
@@ -215,9 +309,10 @@ Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeli
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_latency, &better_min_fp,
-      [&](const Solution& s) {
-        return within_cap(s.latency, max_latency) &&
-               within_cap(mapping::period(pipeline, platform, s.mapping), max_period);
+      [&](const mapping::EvalScratch& scratch, const mapping::ViewEval& eval) {
+        return within_cap(eval.latency, max_latency) &&
+               within_cap(mapping::period_view(platform, scratch.view(), scratch.cache()),
+                          max_period);
       },
       best);
   if (!completed) return budget_error(options);
@@ -229,91 +324,104 @@ Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeli
   return *std::move(best);
 }
 
+namespace {
+
+/// Incumbent for the unreplicated enumerators: the best latency seen and the
+/// flat rank of the candidate that achieved it. Ranks order merges exactly
+/// like the serial first-strict-improvement rule, and carrying a rank
+/// instead of a mapping keeps the hot loop allocation-free.
+struct RankedBest {
+  double latency = std::numeric_limits<double>::infinity();
+  std::uint64_t rank = 0;
+  bool has = false;
+};
+
+void merge_ranked(RankedBest& into, RankedBest&& from) {
+  if (from.has && (!into.has || from.latency < into.latency)) into = from;
+}
+
+}  // namespace
+
 GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
                                              const platform::Platform& platform,
-                                             std::uint64_t max_evaluations) {
+                                             std::uint64_t max_evaluations,
+                                             exec::ThreadPool* pool) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
-  std::vector<platform::ProcessorId> assignment(n, 0);
-  std::optional<GeneralSolution> best;
-  std::uint64_t evaluations = 0;
-
-  // Odometer over all m^n assignments.
-  while (true) {
-    if (++evaluations > max_evaluations) {
-      return util::budget_exceeded("general-mapping enumeration exceeded " +
-                                   std::to_string(max_evaluations) + " evaluations");
-    }
-    mapping::GeneralMapping candidate(assignment);
-    const double lat = mapping::latency(pipeline, platform, candidate);
-    if (!best || lat < best->latency) best = GeneralSolution{std::move(candidate), lat};
-
-    std::size_t k = 0;
-    while (k < n && assignment[k] + 1 == m) {
-      assignment[k] = 0;
-      ++k;
-    }
-    if (k == n) break;
-    ++assignment[k];
+  const util::AssignmentIndexer indexer(n, m);
+  const std::uint64_t total = indexer.count();
+  // A saturated count is over budget even for max_evaluations == UINT64_MAX;
+  // it is not a valid rank-space size.
+  if (total == kSaturated || total > max_evaluations) {
+    return util::budget_exceeded("general-mapping enumeration exceeded " +
+                                 std::to_string(max_evaluations) + " evaluations");
   }
-  return *std::move(best);
+
+  const RankedBest best = exec::parallel_reduce(
+      total, kCandidatesPerChunk, [] { return RankedBest(); },
+      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<platform::ProcessorId> assignment(n);
+        indexer.unrank(begin, assignment);
+        for (std::size_t idx = begin;; ++idx) {
+          const double lat = mapping::latency(pipeline, platform, std::span(assignment));
+          if (!local.has || lat < local.latency) {
+            local = RankedBest{lat, idx, true};
+          }
+          if (idx + 1 == end) break;
+          indexer.next(assignment);
+        }
+      },
+      merge_ranked, pool);
+
+  std::vector<platform::ProcessorId> assignment(n);
+  indexer.unrank(best.rank, assignment);
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best.latency};
 }
 
 GeneralResult exhaustive_one_to_one_min_latency(const pipeline::Pipeline& pipeline,
                                                 const platform::Platform& platform,
-                                                std::uint64_t max_evaluations) {
+                                                std::uint64_t max_evaluations,
+                                                exec::ThreadPool* pool) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   if (n > m) return util::infeasible("one-to-one mappings need n <= m");
-
-  std::vector<platform::ProcessorId> assignment(n, 0);
-  std::vector<bool> used(m, false);
-  std::optional<GeneralSolution> best;
-  std::uint64_t evaluations = 0;
-  bool over_budget = false;
-
-  // Depth-first enumeration of all injections [0,n) -> [0,m).
-  auto recurse = [&](auto&& self, std::size_t stage) -> void {
-    if (over_budget) return;
-    if (stage == n) {
-      if (++evaluations > max_evaluations) {
-        over_budget = true;
-        return;
-      }
-      mapping::GeneralMapping candidate(assignment);
-      const double lat = mapping::latency(pipeline, platform, candidate);
-      if (!best || lat < best->latency) best = GeneralSolution{std::move(candidate), lat};
-      return;
-    }
-    for (platform::ProcessorId u = 0; u < m; ++u) {
-      if (used[u]) continue;
-      used[u] = true;
-      assignment[stage] = u;
-      self(self, stage + 1);
-      used[u] = false;
-    }
-  };
-  recurse(recurse, 0);
-
-  if (over_budget) {
+  const util::InjectionIndexer indexer(n, m);
+  const std::uint64_t total = indexer.count();
+  // As above: a saturated count can never fit a uint64 budget.
+  if (total == kSaturated || total > max_evaluations) {
     return util::budget_exceeded("one-to-one enumeration exceeded " +
                                  std::to_string(max_evaluations) + " evaluations");
   }
-  return *std::move(best);
+
+  const RankedBest best = exec::parallel_reduce(
+      total, kCandidatesPerChunk, [] { return RankedBest(); },
+      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<platform::ProcessorId> assignment(n);
+        std::vector<bool> used;
+        indexer.unrank(begin, assignment, used);
+        for (std::size_t idx = begin;; ++idx) {
+          const double lat = mapping::latency(pipeline, platform, std::span(assignment));
+          if (!local.has || lat < local.latency) {
+            local = RankedBest{lat, idx, true};
+          }
+          if (idx + 1 == end) break;
+          indexer.next(assignment, used);
+        }
+      },
+      merge_ranked, pool);
+
+  std::vector<platform::ProcessorId> assignment(n);
+  std::vector<bool> used;
+  indexer.unrank(best.rank, assignment, used);
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best.latency};
 }
 
 std::uint64_t interval_mapping_count(std::size_t stages, std::size_t processors) {
   const std::size_t max_parts = std::min(stages, processors);
   std::uint64_t total = 0;
   for (std::size_t p = 1; p <= max_parts; ++p) {
-    const std::uint64_t compositions = util::binomial(stages - 1, p - 1);
-    const std::uint64_t groupings = util::count_groupings(processors, p);
-    if (compositions != 0 && groupings > ~std::uint64_t{0} / compositions) {
-      return ~std::uint64_t{0};  // saturate
-    }
-    const std::uint64_t product = compositions * groupings;
-    if (total > ~std::uint64_t{0} - product) return ~std::uint64_t{0};
-    total += product;
+    total = util::sat_add(total, util::sat_mul(util::binomial(stages - 1, p - 1),
+                                               util::count_groupings(processors, p)));
   }
   return total;
 }

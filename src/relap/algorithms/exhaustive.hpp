@@ -38,9 +38,13 @@ struct ExhaustiveOptions {
   std::size_t max_intervals = static_cast<std::size_t>(-1);
   std::size_t max_replication = static_cast<std::size_t>(-1);
   /// Pool for the parallel enumeration; null uses
-  /// `exec::ThreadPool::shared()`. Candidates are split across threads by
-  /// composition (stage partition) and the per-composition results merged in
-  /// enumeration order, so the outcome is identical at any thread count.
+  /// `exec::ThreadPool::shared()`. The flat (composition x grouping)
+  /// candidate index space — p-blocks in increasing interval count,
+  /// compositions lexicographic within a block, groupings lexicographic
+  /// within a composition — is cut into fixed-size chunks via rank/unrank
+  /// and the per-chunk results merged in chunk order, so the outcome is
+  /// identical at any thread count and chunks stay uniform even when one
+  /// composition dominates the candidate count.
   exec::ThreadPool* pool = nullptr;
 };
 
@@ -86,16 +90,21 @@ struct ParetoOutcome {
     double max_period, const ExhaustiveOptions& options = {});
 
 /// Exact minimum-latency general mapping by enumerating all m^n assignments
-/// (oracle for Theorem 4's shortest-path construction).
-[[nodiscard]] GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
-                                                           const platform::Platform& platform,
-                                                           std::uint64_t max_evaluations = 20'000'000);
+/// (oracle for Theorem 4's shortest-path construction). Parallelized over
+/// uniform chunks of the base-m rank space (digit 0 fastest — the serial
+/// odometer order); results are identical at any thread count, with ties
+/// resolved to the lowest rank exactly as the serial first-wins scan did.
+[[nodiscard]] GeneralResult exhaustive_general_min_latency(
+    const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr);
 
 /// Exact minimum-latency one-to-one mapping by enumerating all injections
-/// (oracle for the Held-Karp solver).
+/// (oracle for the Held-Karp solver). Parallelized over uniform chunks of
+/// the lexicographic injection rank space (the serial DFS order), with the
+/// same lowest-rank tie-breaking guarantee as the general enumerator.
 [[nodiscard]] GeneralResult exhaustive_one_to_one_min_latency(
     const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-    std::uint64_t max_evaluations = 20'000'000);
+    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr);
 
 /// Number of interval-mapping candidates the exhaustive enumerator would
 /// visit on an (n, m) instance — used by benches to report search-space

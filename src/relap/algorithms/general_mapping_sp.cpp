@@ -1,7 +1,9 @@
 #include "relap/algorithms/general_mapping_sp.hpp"
 
 #include <limits>
+#include <span>
 
+#include "relap/mapping/latency.hpp"
 #include "relap/util/assert.hpp"
 
 namespace relap::algorithms {
@@ -23,18 +25,20 @@ GeneralSolution general_mapping_min_latency(const pipeline::Pipeline& pipeline,
 
   std::vector<double> next(m);
   for (std::size_t k = 1; k < n; ++k) {
+    const double data_k = pipeline.data(k);
+    const double work_k = pipeline.work(k);
     for (platform::ProcessorId v = 0; v < m; ++v) {
       double best = std::numeric_limits<double>::infinity();
       platform::ProcessorId best_u = 0;
       for (platform::ProcessorId u = 0; u < m; ++u) {
-        const double transfer = (u == v) ? 0.0 : pipeline.data(k) / platform.bandwidth(u, v);
+        const double transfer = (u == v) ? 0.0 : data_k / platform.bandwidth(u, v);
         const double cost = dist[u] + transfer;
         if (cost < best) {
           best = cost;
           best_u = u;
         }
       }
-      next[v] = best + pipeline.work(k) / platform.speed(v);
+      next[v] = best + work_k / platform.speed(v);
       parent[k][v] = best_u;
     }
     dist.swap(next);
@@ -55,7 +59,12 @@ GeneralSolution general_mapping_min_latency(const pipeline::Pipeline& pipeline,
   for (std::size_t k = n - 1; k > 0; --k) {
     assignment[k - 1] = parent[k][assignment[k]];
   }
-  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best};
+  // Report the canonical evaluator's latency for the reconstructed path
+  // rather than the DP's running sum: the two agree mathematically, but the
+  // evaluator's compensated summation is the value every other solver (and
+  // the exhaustive oracle) reports, so callers can compare solutions with ==.
+  const double evaluated = mapping::latency(pipeline, platform, std::span(assignment));
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), evaluated};
 }
 
 }  // namespace relap::algorithms

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "relap/algorithms/local_search.hpp"
+#include "relap/mapping/mapping_view.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/strings.hpp"
 
@@ -308,10 +309,17 @@ void enumerate_beam_candidates(const pipeline::Pipeline& pipeline,
   }
 
   prune(beams[n]);
+  // The evaluated latency re-derives the prefix plus the final pending term;
+  // the view kernel recomputes from scratch as the single source of truth
+  // (bit-identical to evaluate()), and the owning mapping is built once per
+  // surviving state instead of round-tripping through a second copy.
+  mapping::EvalScratch scratch(n, m);
   for (const BeamState& state : beams[n]) {
-    // The evaluated latency re-derives the prefix plus the final pending
-    // term; evaluate() recomputes from scratch as the single source of truth.
-    sink(evaluate(pipeline, platform, mapping::IntervalMapping(state.intervals)));
+    scratch.set_intervals(pipeline, state.intervals);
+    const mapping::ViewEval eval =
+        mapping::evaluate_view(platform, scratch.view(), scratch.cache());
+    sink(Solution{mapping::IntervalMapping(state.intervals), eval.latency,
+                  eval.failure_probability});
   }
 }
 

@@ -3,8 +3,10 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "relap/mapping/latency.hpp"
 #include "relap/util/assert.hpp"
 
 namespace relap::algorithms {
@@ -80,7 +82,11 @@ GeneralResult one_to_one_min_latency(const pipeline::Pipeline& pipeline,
     mask &= ~(std::size_t{1} << u);
     u = prev;
   }
-  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), best};
+  // Report the canonical evaluator's latency for the reconstructed
+  // assignment (see general_mapping_sp.cpp): bit-for-bit comparable with the
+  // enumeration oracles, instead of the DP's own accumulation order.
+  const double evaluated = mapping::latency(pipeline, platform, std::span(assignment));
+  return GeneralSolution{mapping::GeneralMapping(std::move(assignment)), evaluated};
 }
 
 }  // namespace relap::algorithms

@@ -31,7 +31,7 @@ int compare_towards_smaller(double a, double b) {
 
 }  // namespace
 
-bool better_min_fp(const Solution& a, const Solution& b, double latency_cap) {
+bool better_min_fp(const Objectives& a, const Objectives& b, double latency_cap) {
   const bool fa = within_cap(a.latency, latency_cap);
   const bool fb = within_cap(b.latency, latency_cap);
   if (fa != fb) return fa;
@@ -43,10 +43,14 @@ bool better_min_fp(const Solution& a, const Solution& b, double latency_cap) {
     return c < 0;
   }
   if (int c = compare_towards_smaller(a.latency, b.latency); c != 0) return c < 0;
-  return a.mapping.processors_used() < b.mapping.processors_used();
+  return a.processors_used < b.processors_used;
 }
 
-bool better_min_latency(const Solution& a, const Solution& b, double fp_cap) {
+bool better_min_fp(const Solution& a, const Solution& b, double latency_cap) {
+  return better_min_fp(objectives_of(a), objectives_of(b), latency_cap);
+}
+
+bool better_min_latency(const Objectives& a, const Objectives& b, double fp_cap) {
   const bool fa = within_cap(a.failure_probability, fp_cap);
   const bool fb = within_cap(b.failure_probability, fp_cap);
   if (fa != fb) return fa;
@@ -57,7 +61,11 @@ bool better_min_latency(const Solution& a, const Solution& b, double fp_cap) {
   if (int c = compare_towards_smaller(a.failure_probability, b.failure_probability); c != 0) {
     return c < 0;
   }
-  return a.mapping.processors_used() < b.mapping.processors_used();
+  return a.processors_used < b.processors_used;
+}
+
+bool better_min_latency(const Solution& a, const Solution& b, double fp_cap) {
+  return better_min_latency(objectives_of(a), objectives_of(b), fp_cap);
 }
 
 }  // namespace relap::algorithms

@@ -49,6 +49,20 @@ using GeneralResult = util::Expected<GeneralSolution>;
                                 const platform::Platform& platform,
                                 mapping::IntervalMapping mapping);
 
+/// The comparator-visible objectives of a candidate, without the mapping
+/// itself. The batched enumerators compare candidates in this form and only
+/// materialize an `IntervalMapping` for the rare winner — materializing per
+/// candidate is exactly the allocation churn the evaluation kernel removes.
+struct Objectives {
+  double latency = 0.0;
+  double failure_probability = 0.0;
+  std::size_t processors_used = 0;
+};
+
+[[nodiscard]] inline Objectives objectives_of(const Solution& s) {
+  return Objectives{s.latency, s.failure_probability, s.mapping.processors_used()};
+}
+
 /// True iff `value <= cap` up to relative tolerance — the feasibility test
 /// used by every constrained solver in the library.
 [[nodiscard]] bool within_cap(double value, double cap);
@@ -56,9 +70,11 @@ using GeneralResult = util::Expected<GeneralSolution>;
 /// Strict-preference comparator for "minimize FP subject to latency <= cap":
 /// feasible beats infeasible; among feasible, smaller FP wins, then smaller
 /// latency, then fewer processors (cheapest certificate).
+[[nodiscard]] bool better_min_fp(const Objectives& a, const Objectives& b, double latency_cap);
 [[nodiscard]] bool better_min_fp(const Solution& a, const Solution& b, double latency_cap);
 
 /// Strict-preference comparator for "minimize latency subject to FP <= cap".
+[[nodiscard]] bool better_min_latency(const Objectives& a, const Objectives& b, double fp_cap);
 [[nodiscard]] bool better_min_latency(const Solution& a, const Solution& b, double fp_cap);
 
 }  // namespace relap::algorithms

@@ -82,18 +82,25 @@ double latency(const pipeline::Pipeline& pipeline, const platform::Platform& pla
                const GeneralMapping& mapping) {
   RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
                "mapping does not cover the pipeline");
+  return latency(pipeline, platform, std::span<const platform::ProcessorId>(mapping.assignment()));
+}
+
+double latency(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+               std::span<const platform::ProcessorId> assignment) {
+  RELAP_ASSERT(assignment.size() == pipeline.stage_count(),
+               "assignment does not cover the pipeline");
   const std::size_t n = pipeline.stage_count();
   util::KahanSum total;
-  total.add(pipeline.data(0) / platform.bandwidth_in(mapping.processor_of(0)));
+  total.add(pipeline.data(0) / platform.bandwidth_in(assignment[0]));
   for (std::size_t k = 0; k < n; ++k) {
-    const platform::ProcessorId u = mapping.processor_of(k);
+    const platform::ProcessorId u = assignment[k];
     total.add(pipeline.work(k) / platform.speed(u));
     if (k + 1 < n) {
-      const platform::ProcessorId v = mapping.processor_of(k + 1);
+      const platform::ProcessorId v = assignment[k + 1];
       if (u != v) total.add(pipeline.data(k + 1) / platform.bandwidth(u, v));
     }
   }
-  total.add(pipeline.data(n) / platform.bandwidth_out(mapping.processor_of(n - 1)));
+  total.add(pipeline.data(n) / platform.bandwidth_out(assignment[n - 1]));
   return total.value();
 }
 

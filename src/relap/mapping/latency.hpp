@@ -32,6 +32,8 @@
 /// computation w_k / s_{alloc(k)} per stage plus delta_k / b_{u,v} on every
 /// boundary where the processor changes, plus the P_in / P_out transfers.
 
+#include <span>
+
 #include "relap/mapping/general_mapping.hpp"
 #include "relap/mapping/interval_mapping.hpp"
 #include "relap/pipeline/pipeline.hpp"
@@ -60,6 +62,14 @@ namespace relap::mapping {
 /// layered-graph path weight of Theorem 4.
 [[nodiscard]] double latency(const pipeline::Pipeline& pipeline,
                              const platform::Platform& platform, const GeneralMapping& mapping);
+
+/// Same, on a bare stage->processor assignment span. This is the
+/// zero-allocation form the parallel enumerators evaluate millions of
+/// candidates through; the `GeneralMapping` overload forwards to it, so the
+/// two are bit-identical by construction.
+[[nodiscard]] double latency(const pipeline::Pipeline& pipeline,
+                             const platform::Platform& platform,
+                             std::span<const platform::ProcessorId> assignment);
 
 /// Lower bound on the latency of *any* interval mapping on this instance:
 /// total work on the fastest processor plus the cheapest possible input and

@@ -3,76 +3,8 @@
 #include <algorithm>
 #include <limits>
 
-#include "relap/util/assert.hpp"
-
 namespace relap::util {
 
-namespace {
-
-constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
-
-/// Saturating multiply for the counting helpers.
-std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
-  if (a == 0 || b == 0) return 0;
-  if (a > kSaturated / b) return kSaturated;
-  return a * b;
-}
-
-std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
-  if (a > kSaturated - b) return kSaturated;
-  return a + b;
-}
-
-bool compose_rec(std::size_t remaining, std::size_t parts_left, std::vector<std::size_t>& parts,
-                 const std::function<bool(std::span<const std::size_t>)>& visit) {
-  if (remaining == 0) return visit(parts);
-  if (parts_left == 0) return true;  // dead branch, not an abort
-  for (std::size_t take = 1; take <= remaining; ++take) {
-    // The remaining stages must still fit: with parts_left-1 more parts each
-    // of size >= 1 we can absorb anything, so no upper-bound prune is needed
-    // beyond `take <= remaining`; but if this is the last allowed part it
-    // must take everything.
-    if (parts_left == 1 && take != remaining) continue;
-    parts.push_back(take);
-    const bool keep_going = compose_rec(remaining - take, parts_left - 1, parts, visit);
-    parts.pop_back();
-    if (!keep_going) return false;
-  }
-  return true;
-}
-
-bool grouping_rec(std::size_t item, std::size_t m, std::size_t p, std::vector<std::size_t>& group_of,
-                  std::vector<std::size_t>& group_sizes, std::size_t empty_groups,
-                  const std::function<bool(std::span<const std::size_t>)>& visit) {
-  if (item == m) {
-    if (empty_groups > 0) return true;  // dead branch
-    return visit(group_of);
-  }
-  // Prune: every still-empty group needs at least one of the remaining items.
-  if (empty_groups > m - item) return true;
-  for (std::size_t g = 0; g <= p; ++g) {  // g == p means "unused"
-    const bool fills_empty = g < p && group_sizes[g] == 0;
-    group_of[item] = g;
-    if (g < p) ++group_sizes[g];
-    const bool keep_going =
-        grouping_rec(item + 1, m, p, group_of, group_sizes,
-                     fills_empty ? empty_groups - 1 : empty_groups, visit);
-    if (g < p) --group_sizes[g];
-    if (!keep_going) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-bool for_each_composition(std::size_t n, std::size_t max_parts,
-                          const std::function<bool(std::span<const std::size_t>)>& visit) {
-  RELAP_ASSERT(n >= 1, "composition of zero stages");
-  RELAP_ASSERT(max_parts >= 1, "need at least one part");
-  std::vector<std::size_t> parts;
-  parts.reserve(std::min(n, max_parts));
-  return compose_rec(n, std::min(n, max_parts), parts, visit);
-}
 
 std::uint64_t binomial(std::size_t n, std::size_t k) {
   if (k > n) return 0;
@@ -94,50 +26,6 @@ std::uint64_t count_compositions(std::size_t n, std::size_t max_parts) {
     total = sat_add(total, binomial(n - 1, p - 1));
   }
   return total;
-}
-
-bool for_each_subset(std::size_t m, bool include_empty,
-                     const std::function<bool(const std::vector<std::size_t>&)>& visit) {
-  RELAP_ASSERT(m <= 63, "subset enumeration limited to 63 elements");
-  std::vector<std::size_t> subset;
-  const std::uint64_t limit = std::uint64_t{1} << m;
-  for (std::uint64_t mask = include_empty ? 0 : 1; mask < limit; ++mask) {
-    subset.clear();
-    for (std::size_t i = 0; i < m; ++i) {
-      if ((mask >> i) & 1U) subset.push_back(i);
-    }
-    if (!visit(subset)) return false;
-  }
-  return true;
-}
-
-bool for_each_combination(std::size_t m, std::size_t k,
-                          const std::function<bool(std::span<const std::size_t>)>& visit) {
-  RELAP_ASSERT(k <= m, "combination size exceeds ground set");
-  std::vector<std::size_t> comb(k);
-  for (std::size_t i = 0; i < k; ++i) comb[i] = i;
-  if (k == 0) return visit(comb);
-  while (true) {
-    if (!visit(comb)) return false;
-    // Advance to next lexicographic combination.
-    std::size_t i = k;
-    while (i > 0) {
-      --i;
-      if (comb[i] != i + m - k) break;
-      if (i == 0) return true;  // last combination visited
-    }
-    ++comb[i];
-    for (std::size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
-  }
-}
-
-bool for_each_grouping(std::size_t m, std::size_t p,
-                       const std::function<bool(std::span<const std::size_t>)>& visit) {
-  RELAP_ASSERT(p >= 1, "need at least one group");
-  RELAP_ASSERT(m >= p, "cannot fill p groups with fewer than p items");
-  std::vector<std::size_t> group_of(m, 0);
-  std::vector<std::size_t> group_sizes(p, 0);
-  return grouping_rec(0, m, p, group_of, group_sizes, p, visit);
 }
 
 std::uint64_t count_raw_groupings(std::size_t m, std::size_t p) {
@@ -162,6 +50,258 @@ std::uint64_t count_groupings(std::size_t m, std::size_t p) {
   if (total < 0) return 0;
   if (total > static_cast<Wide>(kSaturated)) return kSaturated;
   return static_cast<std::uint64_t>(total);
+}
+
+// ---------------------------------------------------------------------------
+// CompositionIndexer
+// ---------------------------------------------------------------------------
+
+CompositionIndexer::CompositionIndexer(std::size_t n, std::size_t parts)
+    : n_(n), parts_(parts), count_(binomial(n - 1, parts - 1)) {
+  RELAP_ASSERT(parts >= 1, "composition needs at least one part");
+  RELAP_ASSERT(parts <= n, "cannot split n stages into more than n parts");
+}
+
+void CompositionIndexer::unrank(std::uint64_t rank, std::vector<std::size_t>& lengths) const {
+  RELAP_ASSERT(rank < count_, "composition rank out of range");
+  lengths.clear();
+  std::size_t remaining = n_;
+  for (std::size_t parts_left = parts_; parts_left > 1; --parts_left) {
+    // Choosing `take` for this part leaves C(remaining-take-1, parts_left-2)
+    // compositions of the rest; walk take upward until rank falls inside.
+    std::size_t take = 1;
+    while (true) {
+      const std::uint64_t completions = binomial(remaining - take - 1, parts_left - 2);
+      if (rank < completions) break;
+      rank -= completions;
+      ++take;
+    }
+    lengths.push_back(take);
+    remaining -= take;
+  }
+  lengths.push_back(remaining);
+}
+
+std::uint64_t CompositionIndexer::rank(std::span<const std::size_t> lengths) const {
+  RELAP_ASSERT(lengths.size() == parts_, "composition has the wrong part count");
+  std::uint64_t rank = 0;
+  std::size_t remaining = n_;
+  for (std::size_t j = 0; j + 1 < parts_; ++j) {
+    const std::size_t parts_left = parts_ - j;
+    for (std::size_t take = 1; take < lengths[j]; ++take) {
+      rank += binomial(remaining - take - 1, parts_left - 2);
+    }
+    remaining -= lengths[j];
+  }
+  return rank;
+}
+
+// ---------------------------------------------------------------------------
+// GroupingIndexer
+// ---------------------------------------------------------------------------
+
+GroupingIndexer::GroupingIndexer(std::size_t m, std::size_t p)
+    : m_(m), p_(p), table_((m + 1) * (p + 1), 0) {
+  RELAP_ASSERT(p >= 1, "need at least one group");
+  RELAP_ASSERT(m >= p, "cannot fill p groups with fewer than p items");
+  // N(0, 0) = 1; N(0, e > 0) = 0 (an empty suffix cannot fill empty groups);
+  // N(r, e) = (p + 1 - e) N(r-1, e) + e N(r-1, e-1): the next item either
+  // goes to an already-filled group or "unused" (p + 1 - e choices, empties
+  // unchanged) or fills one of the e empty groups.
+  table_[0] = 1;
+  for (std::size_t r = 1; r <= m; ++r) {
+    for (std::size_t e = 0; e <= p; ++e) {
+      const std::uint64_t stay = sat_mul(static_cast<std::uint64_t>(p + 1 - e),
+                                         table_[(r - 1) * (p + 1) + e]);
+      const std::uint64_t fill =
+          e == 0 ? 0
+                 : sat_mul(static_cast<std::uint64_t>(e), table_[(r - 1) * (p + 1) + (e - 1)]);
+      table_[r * (p + 1) + e] = sat_add(stay, fill);
+    }
+  }
+}
+
+void GroupingIndexer::unrank(std::uint64_t rank, std::span<std::size_t> group_of,
+                             std::span<std::size_t> group_sizes) const {
+  RELAP_ASSERT(group_of.size() == m_, "group_of span has the wrong size");
+  RELAP_ASSERT(group_sizes.size() == p_, "group_sizes span has the wrong size");
+  RELAP_ASSERT(rank < count(), "grouping rank out of range");
+  std::fill(group_sizes.begin(), group_sizes.end(), std::size_t{0});
+  std::size_t empty = p_;
+  for (std::size_t item = 0; item < m_; ++item) {
+    const std::size_t left = m_ - item - 1;
+    for (std::size_t g = 0; g <= p_; ++g) {
+      const bool fills = g < p_ && group_sizes[g] == 0;
+      const std::size_t e = fills ? empty - 1 : empty;
+      const std::uint64_t below = completions(left, e);
+      if (rank < below) {
+        group_of[item] = g;
+        if (g < p_) ++group_sizes[g];
+        empty = e;
+        break;
+      }
+      rank -= below;
+    }
+  }
+}
+
+std::uint64_t GroupingIndexer::rank(std::span<const std::size_t> group_of) const {
+  RELAP_ASSERT(group_of.size() == m_, "group_of span has the wrong size");
+  std::vector<std::size_t> sizes(p_, 0);
+  std::uint64_t rank = 0;
+  std::size_t empty = p_;
+  for (std::size_t item = 0; item < m_; ++item) {
+    const std::size_t left = m_ - item - 1;
+    const std::size_t chosen = group_of[item];
+    for (std::size_t g = 0; g < chosen; ++g) {
+      const bool fills = g < p_ && sizes[g] == 0;
+      rank += completions(left, fills ? empty - 1 : empty);
+    }
+    if (chosen < p_) {
+      if (sizes[chosen] == 0) --empty;
+      ++sizes[chosen];
+    }
+  }
+  return rank;
+}
+
+bool GroupingIndexer::next(std::span<std::size_t> group_of,
+                           std::span<std::size_t> group_sizes) const {
+  std::size_t empty = 0;
+  for (std::size_t g = 0; g < p_; ++g) empty += group_sizes[g] == 0 ? 1 : 0;
+  for (std::size_t item = m_; item-- > 0;) {
+    const std::size_t current = group_of[item];
+    if (current < p_) {
+      if (--group_sizes[current] == 0) ++empty;
+    }
+    const std::size_t left = m_ - item - 1;
+    for (std::size_t g = current + 1; g <= p_; ++g) {
+      const bool fills = g < p_ && group_sizes[g] == 0;
+      const std::size_t e = fills ? empty - 1 : empty;
+      if (completions(left, e) == 0) continue;
+      group_of[item] = g;
+      if (g < p_) ++group_sizes[g];
+      // Fill the suffix with its lexicographically smallest valid completion.
+      std::size_t empties_left = e;
+      for (std::size_t i = item + 1; i < m_; ++i) {
+        const std::size_t r = m_ - i - 1;
+        for (std::size_t gg = 0; gg <= p_; ++gg) {
+          const bool f = gg < p_ && group_sizes[gg] == 0;
+          const std::size_t ee = f ? empties_left - 1 : empties_left;
+          if (completions(r, ee) == 0) continue;
+          group_of[i] = gg;
+          if (gg < p_) ++group_sizes[gg];
+          empties_left = ee;
+          break;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+AssignmentIndexer::AssignmentIndexer(std::size_t length, std::size_t symbols)
+    : length_(length), symbols_(symbols), count_(1) {
+  RELAP_ASSERT(length >= 1, "assignment words need at least one position");
+  RELAP_ASSERT(symbols >= 1, "assignment words need at least one symbol");
+  for (std::size_t k = 0; k < length; ++k) {
+    count_ = sat_mul(count_, static_cast<std::uint64_t>(symbols));
+  }
+}
+
+void AssignmentIndexer::unrank(std::uint64_t rank, std::span<std::size_t> word) const {
+  RELAP_ASSERT(rank < count_, "assignment rank out of range");
+  for (std::size_t k = 0; k < length_; ++k) {
+    word[k] = static_cast<std::size_t>(rank % symbols_);
+    rank /= symbols_;
+  }
+}
+
+std::uint64_t AssignmentIndexer::rank(std::span<const std::size_t> word) const {
+  std::uint64_t value = 0;
+  for (std::size_t k = length_; k-- > 0;) {
+    value = value * symbols_ + static_cast<std::uint64_t>(word[k]);
+  }
+  return value;
+}
+
+bool AssignmentIndexer::next(std::span<std::size_t> word) const {
+  for (std::size_t k = 0; k < length_; ++k) {
+    if (word[k] + 1 < symbols_) {
+      ++word[k];
+      return true;
+    }
+    word[k] = 0;
+  }
+  return false;
+}
+
+InjectionIndexer::InjectionIndexer(std::size_t length, std::size_t symbols)
+    : length_(length), symbols_(symbols), count_(1), weights_(length) {
+  RELAP_ASSERT(length >= 1, "injections need at least one position");
+  RELAP_ASSERT(length <= symbols, "injections need length <= symbols");
+  // weights_[k] = fall(symbols-k-1, length-k-1), built right to left;
+  // count_ = fall(symbols, length) extends the same product one more step.
+  std::uint64_t fall = 1;
+  for (std::size_t k = length; k-- > 0;) {
+    weights_[k] = fall;
+    fall = sat_mul(fall, static_cast<std::uint64_t>(symbols - k));
+  }
+  count_ = fall;
+}
+
+void InjectionIndexer::unrank(std::uint64_t rank, std::span<std::size_t> word,
+                              std::vector<bool>& used) const {
+  RELAP_ASSERT(rank < count_, "injection rank out of range");
+  used.assign(symbols_, false);
+  for (std::size_t k = 0; k < length_; ++k) {
+    std::uint64_t choice = rank / weights_[k];
+    rank %= weights_[k];
+    for (std::size_t u = 0; u < symbols_; ++u) {
+      if (used[u]) continue;
+      if (choice == 0) {
+        word[k] = u;
+        used[u] = true;
+        break;
+      }
+      --choice;
+    }
+  }
+}
+
+std::uint64_t InjectionIndexer::rank(std::span<const std::size_t> word) const {
+  std::uint64_t value = 0;
+  for (std::size_t k = 0; k < length_; ++k) {
+    // The digit is word[k]'s position among the symbols unused by the prefix.
+    std::uint64_t choice = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (word[j] < word[k]) ++choice;
+    }
+    value += (static_cast<std::uint64_t>(word[k]) - choice) * weights_[k];
+  }
+  return value;
+}
+
+bool InjectionIndexer::next(std::span<std::size_t> word, std::vector<bool>& used) const {
+  for (std::size_t k = length_; k-- > 0;) {
+    const std::size_t current = word[k];
+    used[current] = false;
+    for (std::size_t v = current + 1; v < symbols_; ++v) {
+      if (used[v]) continue;
+      word[k] = v;
+      used[v] = true;
+      // Fill the suffix with the smallest unused symbols, ascending.
+      std::size_t next_free = 0;
+      for (std::size_t j = k + 1; j < length_; ++j) {
+        while (used[next_free]) ++next_free;
+        word[j] = next_free;
+        used[next_free] = true;
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace relap::util

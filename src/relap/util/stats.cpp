@@ -68,6 +68,92 @@ ProportionInterval wilson_interval(std::size_t successes, std::size_t trials, do
   return interval;
 }
 
+namespace {
+
+/// Continued fraction for the regularized incomplete beta (Lentz's method,
+/// the classic Numerical Recipes formulation). Converges in a few dozen
+/// iterations for the x < (a+1)/(a+b+2) regime it is called in.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-16;
+  constexpr double kTiny = 1e-300;  // floor keeping Lentz denominators nonzero
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double m = static_cast<double>(i);
+    const double m2 = 2.0 * m;
+    double numerator = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+/// p-quantile of Beta(a, b) by fixed-count bisection on the monotone CDF.
+/// 100 halvings shrink the bracket below one ulp of any double in (0, 1);
+/// a fixed count (rather than a convergence test) keeps the result
+/// bit-identical across platforms and optimization levels.
+double beta_quantile(double a, double b, double p) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // bracket collapsed to adjacent doubles
+    if (regularized_incomplete_beta(a, b, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  RELAP_ASSERT(a > 0.0 && b > 0.0, "beta shapes must be positive");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction on whichever tail converges fast and reflect.
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * beta_continued_fraction(a, b, x) / a;
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+ProportionInterval clopper_pearson_interval(std::size_t successes, std::size_t trials,
+                                            double alpha) {
+  RELAP_ASSERT(trials >= 1, "clopper_pearson_interval needs at least one trial");
+  RELAP_ASSERT(successes <= trials, "more successes than trials");
+  RELAP_ASSERT(alpha > 0.0 && alpha < 1.0, "confidence level must be in (0, 1)");
+  const auto n = static_cast<double>(trials);
+  const auto s = static_cast<double>(successes);
+  ProportionInterval interval;
+  interval.low = successes == 0 ? 0.0 : beta_quantile(s, n - s + 1.0, alpha / 2.0);
+  interval.high = successes == trials ? 1.0 : beta_quantile(s + 1.0, n - s, 1.0 - alpha / 2.0);
+  return interval;
+}
+
 bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
   const double diff = std::fabs(a - b);
   if (diff <= abs_tol) return true;

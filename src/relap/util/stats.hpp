@@ -85,6 +85,30 @@ struct ProportionInterval {
 [[nodiscard]] ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
                                                  double z = 1.959963984540054);
 
+/// Clopper-Pearson "exact" two-sided interval for a binomial proportion, at
+/// confidence 1 - alpha (default 95%). Inverts the binomial CDF via the
+/// regularized incomplete beta function:
+///   low  = BetaInv(alpha/2;     s,     n - s + 1)   (0 when s == 0)
+///   high = BetaInv(1 - alpha/2; s + 1, n - s)       (1 when s == n)
+/// Guaranteed >= nominal coverage for every (n, p) — conservative where the
+/// Wilson score interval is approximate — which is what the tri-criteria
+/// bench's tiny-trial regimes (a handful of Monte-Carlo repetitions per
+/// threshold) need: Wilson's asymptotics have nothing to stand on at n < 30.
+/// Deterministic: the beta quantile is found by fixed-count bisection, so
+/// identical inputs give bit-identical intervals within one toolchain.
+/// (Across libm implementations the lgamma/exp/log calls underneath may
+/// differ in the last ulp, so do not feed these bounds into cross-platform
+/// result checksums.)
+/// Preconditions: trials >= 1, successes <= trials, 0 < alpha < 1.
+[[nodiscard]] ProportionInterval clopper_pearson_interval(std::size_t successes,
+                                                          std::size_t trials,
+                                                          double alpha = 0.05);
+
+/// Regularized incomplete beta function I_x(a, b), the CDF of Beta(a, b) at
+/// x. Continued-fraction evaluation (Lentz), accurate to ~1e-15 for the
+/// a, b >= 1 shapes the binomial inversion uses. Exposed for tests.
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
 /// Relative-tolerance comparison used throughout the tests and Pareto logic:
 /// true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
 [[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-12);

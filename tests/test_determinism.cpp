@@ -105,6 +105,76 @@ TEST(Determinism, ExhaustiveParetoAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, ExhaustiveParetoFewCompositionsAcrossThreadCounts) {
+  // 2 stages on 8 processors: only 2 compositions, so the old per-composition
+  // split degenerated to two giant tasks. The flat rank/unrank chunking must
+  // stay bit-identical while cutting this space into uniform chunks.
+  const auto pipe = gen::random_uniform_pipeline(2, 101);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 8;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 102);
+
+  exec::ThreadPool serial(1);
+  algorithms::ExhaustiveOptions options;
+  options.pool = &serial;
+  const auto reference = algorithms::exhaustive_pareto(pipe, plat, options);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto outcome = algorithms::exhaustive_pareto(pipe, plat, options);
+    ASSERT_TRUE(outcome.has_value()) << "threads=" << threads;
+    EXPECT_EQ(outcome->evaluations, reference->evaluations) << "threads=" << threads;
+    expect_same_front(outcome->front, reference->front, threads);
+  }
+}
+
+TEST(Determinism, GeneralEnumerationAcrossThreadCounts) {
+  const auto pipe = gen::random_uniform_pipeline(5, 111);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 5;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 112);
+
+  exec::ThreadPool serial(1);
+  const auto reference =
+      algorithms::exhaustive_general_min_latency(pipe, plat, 20'000'000, &serial);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    const auto outcome =
+        algorithms::exhaustive_general_min_latency(pipe, plat, 20'000'000, &pool);
+    ASSERT_TRUE(outcome.has_value()) << "threads=" << threads;
+    EXPECT_EQ(outcome->mapping, reference->mapping) << "threads=" << threads;
+    EXPECT_EQ(outcome->latency, reference->latency) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, OneToOneEnumerationAcrossThreadCounts) {
+  // 4 stages on 8 processors: 1680 injections — more than one 1024-candidate
+  // chunk, so the nonzero-rank unrank_injection seek at chunk boundaries is
+  // actually exercised (840 at m=7 would collapse to a single chunk).
+  const auto pipe = gen::random_uniform_pipeline(4, 121);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 8;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 122);
+
+  exec::ThreadPool serial(1);
+  const auto reference =
+      algorithms::exhaustive_one_to_one_min_latency(pipe, plat, 20'000'000, &serial);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    const auto outcome =
+        algorithms::exhaustive_one_to_one_min_latency(pipe, plat, 20'000'000, &pool);
+    ASSERT_TRUE(outcome.has_value()) << "threads=" << threads;
+    EXPECT_EQ(outcome->mapping, reference->mapping) << "threads=" << threads;
+    EXPECT_EQ(outcome->latency, reference->latency) << "threads=" << threads;
+  }
+}
+
 TEST(Determinism, HeuristicParetoFrontAcrossThreadCounts) {
   const auto pipe = gen::random_uniform_pipeline(6, 77);
   gen::PlatformGenOptions gen_options;

@@ -51,7 +51,10 @@ TEST_P(GeneralSpSweep, MatchesBruteForceOnFullyHeterogeneous) {
   const std::uint64_t seed = GetParam();
   const auto pipe = gen::random_uniform_pipeline(4, seed);
   gen::PlatformGenOptions options;
-  options.processors = 4;
+  // 6 processors -> 6^4 = 1296 assignments: more than one 1024-candidate
+  // chunk, so this independent DP cross-check also exercises the brute
+  // enumerator's nonzero-rank odometer seeks at chunk boundaries.
+  options.processors = 6;
   const auto plat = gen::random_fully_heterogeneous(options, seed * 191);
 
   const GeneralSolution fast = general_mapping_min_latency(pipe, plat);

@@ -64,7 +64,10 @@ TEST_P(HeldKarpSweep, MatchesBruteForce) {
   const std::uint64_t seed = GetParam();
   const auto pipe = gen::random_uniform_pipeline(4, seed);
   gen::PlatformGenOptions options;
-  options.processors = 6;
+  // 8 processors -> 1680 injections: more than one 1024-candidate chunk, so
+  // this independent DP cross-check also exercises the brute enumerator's
+  // nonzero-rank unrank_injection seeks at chunk boundaries.
+  options.processors = 8;
   const auto plat = gen::random_fully_heterogeneous(options, seed * 67);
 
   const GeneralResult fast = one_to_one_min_latency(pipe, plat);

@@ -146,5 +146,188 @@ TEST(RawGroupingCount, Formula) {
   EXPECT_EQ(count_raw_groupings(2, 4), 25u);  // 5^2
 }
 
+TEST(CompositionIndexer, UnrankWalksEnumerationOrderAndRankInverts) {
+  for (std::size_t n = 1; n <= 7; ++n) {
+    for (std::size_t p = 1; p <= n; ++p) {
+      // Reference order: for_each_composition restricted to exactly p parts.
+      std::vector<std::vector<std::size_t>> reference;
+      for_each_composition(n, n, [&](std::span<const std::size_t> parts) {
+        if (parts.size() == p) reference.emplace_back(parts.begin(), parts.end());
+        return true;
+      });
+
+      const CompositionIndexer indexer(n, p);
+      ASSERT_EQ(indexer.count(), reference.size()) << "n=" << n << " p=" << p;
+      std::vector<std::size_t> lengths;
+      for (std::uint64_t r = 0; r < indexer.count(); ++r) {
+        indexer.unrank(r, lengths);
+        EXPECT_EQ(lengths, reference[r]) << "n=" << n << " p=" << p << " rank=" << r;
+        EXPECT_EQ(indexer.rank(lengths), r) << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(GroupingIndexer, CountMatchesClosedForm) {
+  for (std::size_t m = 1; m <= 7; ++m) {
+    for (std::size_t p = 1; p <= m; ++p) {
+      const GroupingIndexer indexer(m, p);
+      EXPECT_EQ(indexer.count(), count_groupings(m, p)) << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(GroupingIndexer, UnrankWalksEnumerationOrderAndRankInverts) {
+  for (std::size_t m = 1; m <= 5; ++m) {
+    for (std::size_t p = 1; p <= m; ++p) {
+      std::vector<std::vector<std::size_t>> reference;
+      for_each_grouping(m, p, [&](std::span<const std::size_t> group_of) {
+        reference.emplace_back(group_of.begin(), group_of.end());
+        return true;
+      });
+
+      const GroupingIndexer indexer(m, p);
+      ASSERT_EQ(indexer.count(), reference.size()) << "m=" << m << " p=" << p;
+      std::vector<std::size_t> group_of(m);
+      std::vector<std::size_t> group_sizes(p);
+      for (std::uint64_t r = 0; r < indexer.count(); ++r) {
+        indexer.unrank(r, group_of, group_sizes);
+        EXPECT_EQ(group_of, reference[r]) << "m=" << m << " p=" << p << " rank=" << r;
+        EXPECT_EQ(indexer.rank(group_of), r) << "m=" << m << " p=" << p;
+        // group_sizes must match the word's occupancy.
+        std::vector<std::size_t> expected_sizes(p, 0);
+        for (const std::size_t g : group_of) {
+          if (g < p) ++expected_sizes[g];
+        }
+        EXPECT_EQ(std::vector<std::size_t>(group_sizes.begin(), group_sizes.end()),
+                  expected_sizes);
+      }
+    }
+  }
+}
+
+TEST(GroupingIndexer, NextWalksTheWholeSequence) {
+  for (std::size_t m = 1; m <= 5; ++m) {
+    for (std::size_t p = 1; p <= m; ++p) {
+      const GroupingIndexer indexer(m, p);
+      std::vector<std::size_t> group_of(m);
+      std::vector<std::size_t> group_sizes(p);
+      indexer.unrank(0, group_of, group_sizes);
+      std::uint64_t visited = 1;
+      std::vector<std::size_t> expected(m);
+      std::vector<std::size_t> expected_sizes(p);
+      while (indexer.next(group_of, group_sizes)) {
+        indexer.unrank(visited, expected, expected_sizes);
+        ASSERT_EQ(group_of, expected) << "m=" << m << " p=" << p << " step=" << visited;
+        ++visited;
+      }
+      EXPECT_EQ(visited, indexer.count()) << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+/// Reference enumerations the exhaustive general / one-to-one enumerators'
+/// indexers are pinned against: the plain odometer and the DFS over
+/// injections, exactly as the pre-parallel serial enumerators walked them.
+std::vector<std::vector<std::size_t>> reference_words(std::size_t length, std::size_t symbols) {
+  std::vector<std::vector<std::size_t>> words;
+  std::vector<std::size_t> word(length, 0);
+  while (true) {
+    words.push_back(word);
+    std::size_t k = 0;
+    while (k < length && word[k] + 1 == symbols) {
+      word[k] = 0;
+      ++k;
+    }
+    if (k == length) return words;
+    ++word[k];
+  }
+}
+
+std::vector<std::vector<std::size_t>> reference_injections(std::size_t length,
+                                                           std::size_t symbols) {
+  std::vector<std::vector<std::size_t>> words;
+  std::vector<std::size_t> word(length);
+  std::vector<bool> used(symbols, false);
+  auto dfs = [&](auto&& self, std::size_t k) -> void {
+    if (k == length) {
+      words.push_back(word);
+      return;
+    }
+    for (std::size_t u = 0; u < symbols; ++u) {
+      if (used[u]) continue;
+      used[u] = true;
+      word[k] = u;
+      self(self, k + 1);
+      used[u] = false;
+    }
+  };
+  dfs(dfs, 0);
+  return words;
+}
+
+TEST(AssignmentIndexer, UnrankWalksEnumerationOrderAndRankInverts) {
+  for (std::size_t length = 1; length <= 4; ++length) {
+    for (std::size_t symbols = 1; symbols <= 4; ++symbols) {
+      const AssignmentIndexer indexer(length, symbols);
+      const auto reference = reference_words(length, symbols);
+      ASSERT_EQ(indexer.count(), reference.size()) << "length=" << length << " sym=" << symbols;
+      std::vector<std::size_t> word(length);
+      for (std::uint64_t r = 0; r < indexer.count(); ++r) {
+        indexer.unrank(r, word);
+        ASSERT_EQ(word, reference[r]) << "length=" << length << " sym=" << symbols << " r=" << r;
+        EXPECT_EQ(indexer.rank(word), r);
+      }
+    }
+  }
+}
+
+TEST(AssignmentIndexer, NextWalksTheWholeSequence) {
+  const AssignmentIndexer indexer(3, 4);
+  std::vector<std::size_t> word(3);
+  indexer.unrank(0, word);
+  std::vector<std::size_t> expected(3);
+  std::uint64_t visited = 1;
+  while (indexer.next(word)) {
+    indexer.unrank(visited, expected);
+    ASSERT_EQ(word, expected) << "step=" << visited;
+    ++visited;
+  }
+  EXPECT_EQ(visited, indexer.count());
+}
+
+TEST(InjectionIndexer, UnrankWalksEnumerationOrderAndRankInverts) {
+  for (std::size_t symbols = 1; symbols <= 5; ++symbols) {
+    for (std::size_t length = 1; length <= symbols; ++length) {
+      const InjectionIndexer indexer(length, symbols);
+      const auto reference = reference_injections(length, symbols);
+      ASSERT_EQ(indexer.count(), reference.size()) << "length=" << length << " sym=" << symbols;
+      std::vector<std::size_t> word(length);
+      std::vector<bool> used;
+      for (std::uint64_t r = 0; r < indexer.count(); ++r) {
+        indexer.unrank(r, word, used);
+        ASSERT_EQ(word, reference[r]) << "length=" << length << " sym=" << symbols << " r=" << r;
+        EXPECT_EQ(indexer.rank(word), r);
+      }
+    }
+  }
+}
+
+TEST(InjectionIndexer, NextWalksTheWholeSequence) {
+  const InjectionIndexer indexer(3, 5);
+  std::vector<std::size_t> word(3);
+  std::vector<bool> used;
+  indexer.unrank(0, word, used);
+  std::vector<std::size_t> expected(3);
+  std::vector<bool> expected_used;
+  std::uint64_t visited = 1;
+  while (indexer.next(word, used)) {
+    indexer.unrank(visited, expected, expected_used);
+    ASSERT_EQ(word, expected) << "step=" << visited;
+    ++visited;
+  }
+  EXPECT_EQ(visited, indexer.count());
+}
+
 }  // namespace
 }  // namespace relap::util

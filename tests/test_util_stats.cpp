@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 namespace relap::util {
@@ -136,6 +137,72 @@ TEST(WilsonInterval, DegenerateEndpointsKeepPositiveWidth) {
 TEST(WilsonInterval, ShrinksWithSampleSize) {
   EXPECT_GT(wilson_interval(5, 10).half_width(), wilson_interval(500, 1000).half_width());
   EXPECT_GT(wilson_interval(0, 10).high, wilson_interval(0, 10'000).high);
+}
+
+TEST(RegularizedIncompleteBeta, KnownValues) {
+  // I_x(1, 1) is the uniform CDF.
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-14);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 3.0, 0.2), 1.0 - 0.8 * 0.8 * 0.8, 1e-14);
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(regularized_incomplete_beta(4.0, 1.0, 0.5), 0.0625, 1e-14);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(regularized_incomplete_beta(3.5, 2.25, 0.4),
+              1.0 - regularized_incomplete_beta(2.25, 3.5, 0.6), 1e-13);
+  // Endpoints.
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 5.0, 1.0), 1.0);
+}
+
+TEST(ClopperPearsonInterval, DegenerateEndpointsHaveClosedForms) {
+  // s = 0: [0, 1 - (alpha/2)^(1/n)];  s = n: [(alpha/2)^(1/n), 1].
+  for (const std::size_t n : {1u, 5u, 30u, 200u}) {
+    const ProportionInterval none = clopper_pearson_interval(0, n);
+    EXPECT_DOUBLE_EQ(none.low, 0.0);
+    EXPECT_NEAR(none.high, 1.0 - std::pow(0.025, 1.0 / static_cast<double>(n)), 1e-10)
+        << "n=" << n;
+    const ProportionInterval all = clopper_pearson_interval(n, n);
+    EXPECT_DOUBLE_EQ(all.high, 1.0);
+    EXPECT_NEAR(all.low, std::pow(0.025, 1.0 / static_cast<double>(n)), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(ClopperPearsonInterval, ContainsTheEmpiricalRateAndShrinks) {
+  for (const auto& [s, n] : {std::pair<std::size_t, std::size_t>{3, 10},
+                            {50, 100},
+                            {1, 2},
+                            {250, 1000}}) {
+    const ProportionInterval interval = clopper_pearson_interval(s, n);
+    const double p_hat = static_cast<double>(s) / static_cast<double>(n);
+    EXPECT_LE(interval.low, p_hat);
+    EXPECT_GE(interval.high, p_hat);
+    EXPECT_GE(interval.low, 0.0);
+    EXPECT_LE(interval.high, 1.0);
+  }
+  EXPECT_GT(clopper_pearson_interval(5, 10).half_width(),
+            clopper_pearson_interval(500, 1000).half_width());
+}
+
+TEST(ClopperPearsonInterval, IsConservativeRelativeToWilsonInTinyTrials) {
+  // The exact interval can only be at least as wide as the score interval in
+  // the tiny-trial regimes it exists for (this is why the tri-criteria bench
+  // wants it); spot-check the regime rather than prove the theorem.
+  for (std::size_t n = 2; n <= 12; ++n) {
+    for (std::size_t s = 0; s <= n; ++s) {
+      const ProportionInterval exact = clopper_pearson_interval(s, n);
+      const ProportionInterval score = wilson_interval(s, n);
+      EXPECT_GE(exact.half_width() + 1e-12, score.half_width())
+          << "s=" << s << " n=" << n;
+    }
+  }
+}
+
+TEST(ClopperPearsonInterval, MatchesExternallyComputedValues) {
+  // scipy.stats.beta.ppf reference values for (s=3, n=10, alpha=0.05):
+  // low = betainv(0.025; 3, 8), high = betainv(0.975; 4, 7).
+  const ProportionInterval interval = clopper_pearson_interval(3, 10);
+  EXPECT_NEAR(interval.low, 0.06673951117773447, 1e-10);
+  EXPECT_NEAR(interval.high, 0.6524528500599972, 1e-10);
 }
 
 TEST(ApproxEqual, Basics) {
