@@ -28,9 +28,7 @@ namespace {
 
 constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
+using benchutil::seconds_since;
 
 void print_scaling_row(std::size_t threads, double seconds, double serial_seconds) {
   std::printf("%7zu  %9.3f  %7.2fx  identical\n", threads, seconds,

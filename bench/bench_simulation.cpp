@@ -4,11 +4,18 @@
 // on both paper instances and random mappings; (b) the adversarial
 // worst-case schedule reproduces Eq.(1)/(2) exactly; (c) failure-free
 // latency never exceeds the worst case; timings measure engine throughput.
+//
+// Emits BENCH_simulation.json: wall times, trials/sec of the batched
+// SimScratch Monte-Carlo drivers on two instances, and FNV-1a checksums of
+// the resulting statistics (two runs agree on a checksum iff the engine
+// produced bit-identical estimates — the determinism contract CI tracks).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "relap/exec/thread_pool.hpp"
 #include "relap/gen/paper_instances.hpp"
 #include "relap/gen/pipelines.hpp"
 #include "relap/gen/platforms.hpp"
@@ -20,6 +27,97 @@
 namespace {
 
 using namespace relap;
+
+using benchutil::seconds_since;
+
+void add_trial_stats(benchutil::Checksum& checksum, const sim::TrialStats& stats) {
+  checksum.add(stats.failure.empirical);
+  checksum.add(stats.failure.analytic);
+  checksum.add(stats.failure.ci95.low);
+  checksum.add(stats.failure.ci95.high);
+  checksum.add(stats.failure_free_latency);
+  checksum.add(static_cast<std::uint64_t>(stats.latency.count()));
+  checksum.add(stats.latency.mean());
+  checksum.add(stats.latency.variance());
+  checksum.add(stats.latency.min());
+  checksum.add(stats.latency.max());
+}
+
+/// Serial run_trials throughput on one instance; prints the table row and
+/// records a <prefix>_* field group (incl. the stats checksum) in the JSON
+/// artifact.
+void engine_throughput_row(benchutil::JsonReport& report, const char* name, const char* prefix,
+                           const pipeline::Pipeline& pipe, const platform::Platform& plat,
+                           const mapping::IntervalMapping& mapping, std::size_t trials,
+                           std::size_t dataset_count) {
+  exec::ThreadPool serial(1);
+  sim::TrialOptions options;
+  options.trials = trials;
+  options.dataset_count = dataset_count;
+  options.pool = &serial;
+  const auto start = std::chrono::steady_clock::now();
+  const sim::TrialStats stats = sim::run_trials(pipe, plat, mapping, options);
+  const double elapsed = seconds_since(start);
+  const double per_sec = elapsed > 0.0 ? static_cast<double>(trials) / elapsed : 0.0;
+  benchutil::Checksum checksum;
+  add_trial_stats(checksum, stats);
+  std::printf("%-24s %9zu trials  %8.3fs  %12.0f trials/s  emp %.6f  checksum %s\n", name,
+              trials, elapsed, per_sec, stats.failure.empirical, checksum.hex().c_str());
+  report.field((std::string(prefix) + "_trials").c_str(), static_cast<std::uint64_t>(trials))
+      .field((std::string(prefix) + "_time_s").c_str(), elapsed)
+      .field((std::string(prefix) + "_trials_per_sec").c_str(), per_sec)
+      .field((std::string(prefix) + "_checksum").c_str(), checksum.hex());
+}
+
+/// Engine trial throughput: the headline number for the SimScratch arena
+/// (PR 5); the pre-arena engine ran the fig5 row at ~2.5M trials/s serial
+/// on the reference machine, the batched driver at >= 2x that.
+void engine_throughput(benchutil::JsonReport& report) {
+  benchutil::header("full-engine Monte-Carlo throughput (batched SimScratch driver, 1 thread)");
+  {
+    const auto pipe = gen::fig5_pipeline();
+    const auto plat = gen::fig5_platform();
+    const auto mapping = gen::fig5_two_interval_mapping();
+    engine_throughput_row(report, "fig5 two-interval", "engine_fig5", pipe, plat, mapping,
+                          200'000, 1);
+  }
+  {
+    const auto pipe = gen::random_uniform_pipeline(8, 42);
+    gen::PlatformGenOptions options;
+    options.processors = 12;
+    options.fp_min = 0.05;
+    options.fp_max = 0.3;
+    const auto plat = gen::random_comm_hom_het_failures(options, 43);
+    const mapping::IntervalMapping mapping(
+        {{{0, 1}, {0, 1, 2}}, {{2, 3}, {3, 4, 5}}, {{4, 5}, {6, 7, 8}}, {{6, 7}, {9, 10, 11}}});
+    engine_throughput_row(report, "8x12 four-interval d=4", "engine_8x12", pipe, plat, mapping,
+                          60'000, 4);
+  }
+  {
+    const auto plat = gen::fig5_platform();
+    const auto mapping = gen::fig5_two_interval_mapping();
+    exec::ThreadPool serial(1);
+    sim::MonteCarloOptions mc;
+    mc.trials = 4'000'000;
+    mc.pool = &serial;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::FailureRateEstimate est = sim::estimate_failure_rate(plat, mapping, mc);
+    const double elapsed = seconds_since(start);
+    const double per_sec = elapsed > 0.0 ? static_cast<double>(mc.trials) / elapsed : 0.0;
+    benchutil::Checksum checksum;
+    checksum.add(est.empirical);
+    checksum.add(est.analytic);
+    checksum.add(est.ci95.low);
+    checksum.add(est.ci95.high);
+    std::printf("%-24s %9zu trials  %8.3fs  %12.0f trials/s  emp %.6f  checksum %s\n",
+                "fig5 direct Bernoulli", mc.trials, elapsed, per_sec, est.empirical,
+                checksum.hex().c_str());
+    report.field("direct_trials", static_cast<std::uint64_t>(mc.trials))
+        .field("direct_time_s", elapsed)
+        .field("direct_trials_per_sec", per_sec)
+        .field("direct_checksum", checksum.hex());
+  }
+}
 
 void print_tables() {
   benchutil::header("Monte Carlo vs analytic FP (200k trials per row)");
@@ -100,6 +198,10 @@ void print_tables() {
                 free_run.datasets[0].latency(), worst,
                 worst / free_run.datasets[0].latency());
   }
+
+  benchutil::JsonReport report("simulation");
+  engine_throughput(report);
+  report.write();
 }
 
 void bm_engine_single_dataset(benchmark::State& state) {
@@ -134,6 +236,26 @@ void bm_engine_pipelined_datasets(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_engine_pipelined_datasets)->Arg(1)->Arg(16)->Arg(256);
+
+void bm_engine_scratch_reuse(benchmark::State& state) {
+  // simulate_into on a bound scratch vs the per-call simulate() wrapper:
+  // the allocation-free steady state the Monte-Carlo driver runs in.
+  const auto pipe = gen::random_uniform_pipeline(8, 3);
+  gen::PlatformGenOptions options;
+  options.processors = 8;
+  const auto plat = gen::random_comm_hom_het_failures(options, 5);
+  const mapping::IntervalMapping m({{{0, 4}, {0, 1, 2, 3}}, {{5, 7}, {4, 5, 6, 7}}});
+  const auto scenario = sim::FailureScenario::none(8);
+  sim::SimOptions sim_options;
+  sim::SimScratch scratch(plat.processor_count(), m.interval_count());
+  scratch.bind(pipe, plat, m, sim_options.send_order);
+  sim::SimResult run;
+  for (auto _ : state) {
+    sim::simulate_into(scratch, scenario, sim_options, run);
+    benchmark::DoNotOptimize(run.makespan);
+  }
+}
+BENCHMARK(bm_engine_scratch_reuse);
 
 void bm_monte_carlo_direct(benchmark::State& state) {
   const auto plat = gen::fig5_platform();

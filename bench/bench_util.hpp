@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <span>
@@ -39,6 +40,11 @@ inline void header(const char* title) {
 }
 
 inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// Wall-clock seconds elapsed since `start` — the table timings' clock.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 /// FNV-1a 64-bit fingerprint over double bit patterns, integers and strings.
 /// Used to pin a bench's result front in its JSON artifact: two runs agree

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "relap/algorithms/local_search.hpp"
+#include "relap/exec/parallel.hpp"
 #include "relap/mapping/mapping_view.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/strings.hpp"
@@ -313,14 +314,29 @@ void enumerate_beam_candidates(const pipeline::Pipeline& pipeline,
   // the view kernel recomputes from scratch as the single source of truth
   // (bit-identical to evaluate()), and the owning mapping is built once per
   // surviving state instead of round-tripping through a second copy.
-  mapping::EvalScratch scratch(n, m);
-  for (const BeamState& state : beams[n]) {
-    scratch.set_intervals(pipeline, state.intervals);
-    const mapping::ViewEval eval =
-        mapping::evaluate_view(platform, scratch.view(), scratch.cache());
-    sink(Solution{mapping::IntervalMapping(state.intervals), eval.latency,
-                  eval.failure_probability});
-  }
+  //
+  // Evaluation is chunked over the surviving states (per-chunk EvalScratch,
+  // every state writes its own slot), and the sink consumes the solutions
+  // serially in state-index order afterwards — the same lowest-rank
+  // tie-breaking as the serial scan, so downstream first-wins incumbents
+  // are identical at any thread count.
+  const std::vector<BeamState>& finals = beams[n];
+  std::vector<std::optional<Solution>> solutions(finals.size());
+  constexpr std::size_t kStatesPerChunk = 8;
+  exec::parallel_for_chunks(
+      finals.size(), kStatesPerChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        mapping::EvalScratch scratch(n, m);
+        for (std::size_t i = begin; i < end; ++i) {
+          scratch.set_intervals(pipeline, finals[i].intervals);
+          const mapping::ViewEval eval =
+              mapping::evaluate_view(platform, scratch.view(), scratch.cache());
+          solutions[i].emplace(Solution{mapping::IntervalMapping(finals[i].intervals),
+                                        eval.latency, eval.failure_probability});
+        }
+      },
+      options.pool);
+  for (std::optional<Solution>& s : solutions) sink(*std::move(s));
 }
 
 namespace {

@@ -33,6 +33,10 @@
 
 #include "relap/algorithms/types.hpp"
 
+namespace relap::exec {
+class ThreadPool;
+}  // namespace relap::exec
+
 namespace relap::algorithms {
 
 struct HeuristicOptions {
@@ -41,6 +45,12 @@ struct HeuristicOptions {
   std::size_t beam_width = 64;
   /// Replica-group sizes tried per interval go up to this cap.
   std::size_t max_replication = 16;
+  /// Pool for the beam's parallel candidate evaluation; null uses
+  /// `exec::ThreadPool::shared()`. Surviving final states are evaluated in
+  /// fixed-size chunks (per-chunk `EvalScratch`) and fed to the sink
+  /// serially in state-index order, so candidates, ties and results are
+  /// identical at any thread count.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Receives each candidate mapping a heuristic generates.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "relap/util/assert.hpp"
 
@@ -11,22 +12,12 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Mutable per-run simulation state.
-struct State {
-  std::vector<double> avail;  ///< next-free time per processor
-  double avail_in = 0.0;
-  double avail_out = 0.0;
-  std::vector<double> death;        ///< resolved death time per processor
-  std::vector<bool> received_once;  ///< for fail_after_first_receive resolution
-};
-
 /// A transfer completes iff both endpoints outlive it.
-bool transfer_completes(const State& state, std::int64_t sender, std::int64_t receiver,
-                        double end) {
-  const bool sender_ok =
-      sender == kExternal || state.death[static_cast<std::size_t>(sender)] >= end;
+bool transfer_completes(const std::vector<double>& death, std::int64_t sender,
+                        std::int64_t receiver, double end) {
+  const bool sender_ok = sender == kExternal || death[static_cast<std::size_t>(sender)] >= end;
   const bool receiver_ok =
-      receiver == kExternal || state.death[static_cast<std::size_t>(receiver)] >= end;
+      receiver == kExternal || death[static_cast<std::size_t>(receiver)] >= end;
   return sender_ok && receiver_ok;
 }
 
@@ -46,74 +37,156 @@ std::size_t SimResult::completed_count() const {
   return count;
 }
 
-SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-                   const mapping::IntervalMapping& mapping, const FailureScenario& scenario,
-                   const SimOptions& options) {
+SimScratch::SimScratch(std::size_t processor_count, std::size_t interval_count) {
+  avail_.reserve(processor_count);
+  death_.reserve(processor_count);
+  received_once_.reserve(processor_count);
+  receive_end_.reserve(processor_count);
+  order_.reserve(processor_count);
+  groups_.reserve(processor_count);
+  order_offsets_.reserve(interval_count + 1);
+  recv_offsets_.reserve(interval_count + 1);
+  compute_duration_.reserve(processor_count);
+  out_duration_.reserve(processor_count);
+  scenario_.failure_time.reserve(processor_count);
+  scenario_.fail_after_first_receive.reserve(processor_count);
+}
+
+void SimScratch::bind(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                      const mapping::IntervalMapping& mapping, SendOrder send_order) {
   RELAP_ASSERT(mapping.stage_count() == pipeline.stage_count(),
                "mapping does not cover the pipeline");
   const std::size_t m = platform.processor_count();
-  RELAP_ASSERT(scenario.failure_time.size() == m && scenario.fail_after_first_receive.size() == m,
-               "failure scenario does not match the platform");
-  RELAP_ASSERT(options.dataset_count >= 1, "need at least one data set");
-
-  State state;
-  state.avail.assign(m, 0.0);
-  state.death = scenario.failure_time;
-  state.received_once.assign(m, false);
-
   const std::size_t p = mapping.interval_count();
+  processor_count_ = m;
+  interval_count_ = p;
+  send_order_ = send_order;
 
-  // Receive order per interval, fixed across data sets.
-  std::vector<std::vector<platform::ProcessorId>> order(p);
+  order_.clear();
+  groups_.clear();
+  order_offsets_.resize(p + 1);
+  order_offsets_[0] = 0;
   for (std::size_t j = 0; j < p; ++j) {
-    order[j] = mapping.interval(j).processors;  // already sorted by id
-    if (options.send_order == SendOrder::WorstCaseLast) {
+    const mapping::IntervalAssignment& group = mapping.interval(j);
+    for (const platform::ProcessorId v : group.processors) {  // sorted by id
+      order_.push_back(v);
+      groups_.push_back(v);
+    }
+    if (send_order == SendOrder::WorstCaseLast) {
       const std::vector<platform::ProcessorId>* next =
           (j + 1 < p) ? &mapping.interval(j + 1).processors : nullptr;
       const platform::ProcessorId survivor =
-          worst_case_survivor(pipeline, platform, mapping.interval(j), next);
-      auto it = std::find(order[j].begin(), order[j].end(), survivor);
-      RELAP_ASSERT(it != order[j].end(), "survivor must belong to its group");
-      order[j].erase(it);
-      order[j].push_back(survivor);
+          worst_case_survivor(pipeline, platform, group, next);
+      const auto begin = order_.begin() + static_cast<std::ptrdiff_t>(order_offsets_[j]);
+      const auto it = std::find(begin, order_.end(), survivor);
+      RELAP_ASSERT(it != order_.end(), "survivor must belong to its group");
+      std::rotate(it, it + 1, order_.end());  // survivor last, others in id order
     }
+    order_offsets_[j + 1] = order_.size();
   }
 
-  SimResult result;
-  result.datasets.resize(options.dataset_count);
+  // Hoist every trial-invariant cost term: the per-trial loops then touch
+  // only flat scratch arrays, never the pipeline/platform accessors.
+  recv_duration_.clear();
+  recv_offsets_.resize(p + 1);
+  recv_offsets_[0] = 0;
+  compute_duration_.assign(m, 0.0);
+  out_duration_.assign(m, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    const mapping::IntervalAssignment& group = mapping.interval(j);
+    const double in_size = pipeline.data(group.stages.first);
+    const double work = pipeline.work_sum(group.stages.first, group.stages.last);
+    const std::span<const platform::ProcessorId> order{
+        order_.data() + order_offsets_[j], order_offsets_[j + 1] - order_offsets_[j]};
+    if (j == 0) {
+      for (const platform::ProcessorId v : order) {
+        recv_duration_.push_back(in_size / platform.bandwidth_in(v));
+      }
+    } else {
+      for (const platform::ProcessorId u : mapping.interval(j - 1).processors) {
+        for (const platform::ProcessorId v : order) {
+          recv_duration_.push_back(in_size / platform.bandwidth(u, v));
+        }
+      }
+    }
+    recv_offsets_[j + 1] = recv_duration_.size();
+    for (const platform::ProcessorId v : group.processors) {
+      compute_duration_[v] = work / platform.speed(v);
+    }
+  }
+  const double out_size = pipeline.data(pipeline.stage_count());
+  for (const platform::ProcessorId v : mapping.interval(p - 1).processors) {
+    out_duration_[v] = out_size / platform.bandwidth_out(v);
+  }
+
+  avail_.resize(m);
+  death_.resize(m);
+  received_once_.resize(m);
+  receive_end_.resize(m);
+  bound_ = true;
+}
+
+void simulate_into(SimScratch& scratch, const FailureScenario& scenario,
+                   const SimOptions& options, SimResult& out) {
+  RELAP_ASSERT(scratch.bound_ && scratch.send_order_ == options.send_order,
+               "scratch is not bound with this send order");
+  const std::size_t m = scratch.processor_count_;
+  RELAP_ASSERT(scenario.failure_time.size() == m && scenario.fail_after_first_receive.size() == m,
+               "failure scenario does not match the bound platform");
+  RELAP_ASSERT(options.dataset_count >= 1, "need at least one data set");
+
+  std::fill(scratch.avail_.begin(), scratch.avail_.end(), 0.0);
+  std::copy(scenario.failure_time.begin(), scenario.failure_time.end(), scratch.death_.begin());
+  std::fill(scratch.received_once_.begin(), scratch.received_once_.end(), std::uint8_t{0});
+  std::vector<double>& avail = scratch.avail_;
+  std::vector<double>& death = scratch.death_;
+  std::vector<double>& receive_end = scratch.receive_end_;
+  double avail_in = 0.0;
+  double avail_out = 0.0;
+
+  const std::size_t p = scratch.interval_count_;
+
+  out.datasets.resize(options.dataset_count);
+  out.application_failed = false;
+  out.makespan = 0.0;
 
   for (std::size_t d = 0; d < options.dataset_count; ++d) {
-    DatasetOutcome& outcome = result.datasets[d];
+    DatasetOutcome& outcome = out.datasets[d];
+    outcome.completed = false;
     outcome.injection_time = -1.0;  // set at the first transfer
+    outcome.completion_time = 0.0;
 
     // The designated sender of the previous interval; kExternal means P_in.
+    // `sender_pos` is its position (ascending id) within its group — the row
+    // index into the cached transfer-duration table (row 0 for P_in).
     std::int64_t sender = kExternal;
+    std::size_t sender_pos = 0;
     double data_ready = 0.0;
     bool dataset_alive = true;
 
     for (std::size_t j = 0; j < p && dataset_alive; ++j) {
-      const mapping::IntervalAssignment& group = mapping.interval(j);
-      const double in_size = pipeline.data(group.stages.first);
-      const double work = pipeline.work_sum(group.stages.first, group.stages.last);
-
       // --- Serialized receive phase. -----------------------------------
-      std::vector<double> receive_end(m, kInf);  // kInf = did not receive
+      const std::size_t group_size = scratch.order_offsets_[j + 1] - scratch.order_offsets_[j];
+      const std::span<const platform::ProcessorId> order{
+          scratch.order_.data() + scratch.order_offsets_[j], group_size};
+      const std::span<const platform::ProcessorId> group{
+          scratch.groups_.data() + scratch.order_offsets_[j], group_size};
+      const double* recv_duration =
+          scratch.recv_duration_.data() + scratch.recv_offsets_[j] + sender_pos * order.size();
+      for (const platform::ProcessorId v : order) receive_end[v] = kInf;  // = did not receive
       double& sender_avail =
-          (sender == kExternal) ? state.avail_in : state.avail[static_cast<std::size_t>(sender)];
-      for (const platform::ProcessorId v : order[j]) {
-        const double start = std::max({sender_avail, state.avail[v], data_ready});
+          (sender == kExternal) ? avail_in : avail[static_cast<std::size_t>(sender)];
+      for (std::size_t r = 0; r < order.size(); ++r) {
+        const platform::ProcessorId v = order[r];
+        const double start = std::max({sender_avail, avail[v], data_ready});
         // Consensus knows a peer that is already dead; skip it for free.
-        if (state.death[v] <= start) continue;
+        if (death[v] <= start) continue;
         // A dead sender cannot transmit; the dataset is lost past this point.
-        if (sender != kExternal && state.death[static_cast<std::size_t>(sender)] <= start) break;
-        const double duration =
-            in_size / ((sender == kExternal) ? platform.bandwidth_in(v)
-                                             : platform.bandwidth(
-                                                   static_cast<platform::ProcessorId>(sender), v));
-        const double end = start + duration;
-        const bool ok = transfer_completes(state, sender, static_cast<std::int64_t>(v), end);
+        if (sender != kExternal && death[static_cast<std::size_t>(sender)] <= start) break;
+        const double end = start + recv_duration[r];
+        const bool ok = transfer_completes(death, sender, static_cast<std::int64_t>(v), end);
         sender_avail = end;
-        state.avail[v] = end;
+        avail[v] = end;
         if (outcome.injection_time < 0.0 && sender == kExternal) outcome.injection_time = start;
         if (options.trace != nullptr) {
           options.trace->record(TraceOp{OpKind::Transfer, d, j, sender,
@@ -121,24 +194,26 @@ SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform&
         }
         if (ok) {
           receive_end[v] = end;
-          if (scenario.fail_after_first_receive[v] && !state.received_once[v]) {
-            state.death[v] = end;  // dies the instant its first receive completes
+          if (scenario.fail_after_first_receive[v] && scratch.received_once_[v] == 0) {
+            death[v] = end;  // dies the instant its first receive completes
           }
-          state.received_once[v] = true;
+          scratch.received_once_[v] = 1;
         }
       }
 
       // --- Compute phase. ----------------------------------------------
       double best_completion = kInf;
       platform::ProcessorId best_replica = 0;
-      for (const platform::ProcessorId v : group.processors) {
+      std::size_t best_pos = 0;
+      for (std::size_t g = 0; g < group.size(); ++g) {
+        const platform::ProcessorId v = group[g];
         if (receive_end[v] == kInf) continue;
-        const double start = std::max(receive_end[v], state.avail[v]);
-        const double end = start + work / platform.speed(v);
-        state.avail[v] = end;
+        const double start = std::max(receive_end[v], avail[v]);
+        const double end = start + scratch.compute_duration_[v];
+        avail[v] = end;
         // "death > start" makes a zero-work compute on a
         // dead-after-receive replica fail, as it should.
-        const bool ok = state.death[v] >= end && state.death[v] > start;
+        const bool ok = death[v] >= end && death[v] > start;
         if (options.trace != nullptr) {
           options.trace->record(TraceOp{OpKind::Compute, d, j, static_cast<std::int64_t>(v),
                                         kExternal, start, end, ok});
@@ -147,6 +222,7 @@ SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform&
                    (end == best_completion && v < best_replica))) {
           best_completion = end;
           best_replica = v;
+          best_pos = g;
         }
       }
       if (best_completion == kInf) {
@@ -154,29 +230,30 @@ SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform&
         break;
       }
       sender = static_cast<std::int64_t>(best_replica);
+      sender_pos = best_pos;
       data_ready = best_completion;
     }
 
     if (!dataset_alive) {
       outcome.completed = false;
       outcome.completion_time = kInf;
-      result.application_failed = true;
+      out.application_failed = true;
       continue;
     }
 
     // --- Final transfer to P_out. --------------------------------------
     const auto out_sender = static_cast<platform::ProcessorId>(sender);
-    const double start = std::max({state.avail[out_sender], state.avail_out, data_ready});
-    if (state.death[out_sender] <= start) {
+    const double start = std::max({avail[out_sender], avail_out, data_ready});
+    if (death[out_sender] <= start) {
       outcome.completed = false;
       outcome.completion_time = kInf;
-      result.application_failed = true;
+      out.application_failed = true;
       continue;
     }
-    const double end = start + pipeline.data(pipeline.stage_count()) / platform.bandwidth_out(out_sender);
-    const bool ok = state.death[out_sender] >= end;
-    state.avail[out_sender] = end;
-    state.avail_out = end;
+    const double end = start + scratch.out_duration_[out_sender];
+    const bool ok = death[out_sender] >= end;
+    avail[out_sender] = end;
+    avail_out = end;
     if (options.trace != nullptr) {
       options.trace->record(
           TraceOp{OpKind::Transfer, d, p, sender, kExternal, start, end, ok});
@@ -184,15 +261,23 @@ SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform&
     if (!ok) {
       outcome.completed = false;
       outcome.completion_time = kInf;
-      result.application_failed = true;
+      out.application_failed = true;
       continue;
     }
     outcome.completed = true;
     outcome.completion_time = end;
-    result.makespan = std::max(result.makespan, end);
+    out.makespan = std::max(out.makespan, end);
   }
+}
 
-  return result;
+SimResult simulate(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                   const mapping::IntervalMapping& mapping, const FailureScenario& scenario,
+                   const SimOptions& options) {
+  SimScratch scratch;
+  scratch.bind(pipeline, platform, mapping, options.send_order);
+  SimResult out;
+  simulate_into(scratch, scenario, options, out);
+  return out;
 }
 
 }  // namespace relap::sim

@@ -1,6 +1,7 @@
 #include "relap/sim/failure_model.hpp"
 
 #include <limits>
+#include <span>
 
 #include "relap/util/assert.hpp"
 
@@ -22,14 +23,23 @@ FailureScenario FailureScenario::at_times(std::vector<double> times) {
 
 FailureScenario FailureScenario::draw(const platform::Platform& platform, double horizon,
                                       util::Rng& rng) {
+  FailureScenario scenario;
+  draw_into(scenario, platform, horizon, rng);
+  return scenario;
+}
+
+void FailureScenario::draw_into(FailureScenario& scenario, const platform::Platform& platform,
+                                double horizon, util::Rng& rng) {
   RELAP_ASSERT(horizon > 0.0, "failure horizon must be positive");
-  FailureScenario scenario = none(platform.processor_count());
-  for (platform::ProcessorId u = 0; u < platform.processor_count(); ++u) {
-    if (rng.bernoulli(platform.failure_prob(u))) {
+  const std::size_t m = platform.processor_count();
+  const std::span<const double> fp = platform.failure_probs();  // same values as failure_prob(u)
+  scenario.failure_time.assign(m, kNever);
+  scenario.fail_after_first_receive.assign(m, false);
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    if (rng.bernoulli(fp[u])) {
       scenario.failure_time[u] = rng.uniform(0.0, horizon);
     }
   }
-  return scenario;
 }
 
 platform::ProcessorId worst_case_survivor(const pipeline::Pipeline& pipeline,

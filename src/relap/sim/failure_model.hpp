@@ -41,6 +41,13 @@ struct FailureScenario {
   [[nodiscard]] static FailureScenario draw(const platform::Platform& platform, double horizon,
                                             util::Rng& rng);
 
+  /// In-place variant of `draw` for the Monte-Carlo hot loop: consumes the
+  /// RNG stream identically but writes into `scenario`'s existing buffers,
+  /// so a scenario sized to the platform is re-sampled without allocating
+  /// (the batched trial driver samples into `SimScratch::scenario()`).
+  static void draw_into(FailureScenario& scenario, const platform::Platform& platform,
+                        double horizon, util::Rng& rng);
+
   /// The adversarial scenario behind the latency formulas: in every replica
   /// group of `mapping`, all processors except the one with the largest
   /// Eq. (2) sender-side term die right after receiving their input.

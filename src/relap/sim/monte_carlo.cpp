@@ -1,6 +1,8 @@
 #include "relap/sim/monte_carlo.hpp"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "relap/exec/parallel.hpp"
@@ -44,16 +46,33 @@ FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
   const exec::ChunkGrid grid = exec::chunk_grid(options.trials, kBernoulliGrain);
   const std::vector<util::Rng> chunk_rngs = root.split_n(grid.chunks);
 
+  // Flatten the mapping into SoA form once: the per-replica failure
+  // probabilities group-major (the exact order the nested loops drew them
+  // in, so the Bernoulli stream positions are unchanged) plus group
+  // offsets. The per-trial loop then touches two flat arrays instead of
+  // chasing the mapping's vector-of-vectors 2000+ times.
+  std::vector<double> replica_fp;
+  std::vector<std::size_t> group_offsets;
+  group_offsets.reserve(mapping.interval_count() + 1);
+  group_offsets.push_back(0);
+  for (const mapping::IntervalAssignment& a : mapping.intervals()) {
+    for (const platform::ProcessorId u : a.processors) {
+      replica_fp.push_back(platform.failure_prob(u));
+    }
+    group_offsets.push_back(replica_fp.size());
+  }
+  const std::size_t group_count = mapping.interval_count();
+
   const std::size_t failures = exec::parallel_reduce(
       options.trials, kBernoulliGrain, [] { return std::size_t{0}; },
       [&](std::size_t& local_failures, std::size_t begin, std::size_t end, std::size_t chunk) {
         util::Rng rng = chunk_rngs[chunk];
         for (std::size_t t = begin; t < end; ++t) {
           bool app_failed = false;
-          for (const mapping::IntervalAssignment& a : mapping.intervals()) {
+          for (std::size_t g = 0; g < group_count; ++g) {
             bool group_wiped = true;
-            for (const platform::ProcessorId u : a.processors) {
-              if (!rng.bernoulli(platform.failure_prob(u))) {
+            for (std::size_t i = group_offsets[g]; i < group_offsets[g + 1]; ++i) {
+              if (!rng.bernoulli(replica_fp[i])) {
                 group_wiped = false;
                 // Keep drawing the remaining replicas so the stream position
                 // does not depend on outcomes (reproducibility across
@@ -93,20 +112,53 @@ TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platfo
     std::size_t failures = 0;
     util::StreamingStats latency;
   };
+  // Batched driver: each chunk task runs its trials on a SimScratch arena —
+  // scenarios are sampled in place into the scratch's buffer and the
+  // SimResult buffers are recycled, so the steady-state trial loop performs
+  // no heap allocation. Workspaces are recycled through a freelist rather
+  // than rebuilt per 16-trial chunk: every workspace is bound identically,
+  // so which chunk borrows which cannot affect the results, and in steady
+  // state only as many workspaces exist as chunks ran concurrently. The
+  // chunk grid, per-chunk split RNG streams and index-order merge are
+  // unchanged, so results are bit-identical to the per-trial-allocation
+  // engine at any thread count.
+  struct Workspace {
+    SimScratch scratch;
+    SimResult run;
+  };
+  std::mutex freelist_mutex;
+  std::vector<std::unique_ptr<Workspace>> freelist;
+  const auto acquire = [&]() -> std::unique_ptr<Workspace> {
+    {
+      const std::lock_guard<std::mutex> lock(freelist_mutex);
+      if (!freelist.empty()) {
+        std::unique_ptr<Workspace> w = std::move(freelist.back());
+        freelist.pop_back();
+        return w;
+      }
+    }
+    auto w = std::make_unique<Workspace>();
+    w->scratch.bind(pipeline, platform, mapping, sim_options.send_order);
+    return w;
+  };
+
   const Accumulator totals = exec::parallel_reduce(
       options.trials, kEngineGrain, [] { return Accumulator{}; },
       [&](Accumulator& local, std::size_t begin, std::size_t end, std::size_t chunk) {
         util::Rng rng = chunk_rngs[chunk];
+        std::unique_ptr<Workspace> w = acquire();
         for (std::size_t t = begin; t < end; ++t) {
           util::Rng trial_rng = rng.split();
-          const FailureScenario scenario = FailureScenario::draw(platform, horizon, trial_rng);
-          const SimResult run = simulate(pipeline, platform, mapping, scenario, sim_options);
-          if (run.application_failed) {
+          FailureScenario::draw_into(w->scratch.scenario(), platform, horizon, trial_rng);
+          simulate_into(w->scratch, w->scratch.scenario(), sim_options, w->run);
+          if (w->run.application_failed) {
             ++local.failures;
           } else {
-            local.latency.add(run.worst_latency());
+            local.latency.add(w->run.worst_latency());
           }
         }
+        const std::lock_guard<std::mutex> lock(freelist_mutex);
+        freelist.push_back(std::move(w));
       },
       [](Accumulator& acc, Accumulator&& partial) {
         acc.failures += partial.failures;

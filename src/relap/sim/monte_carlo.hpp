@@ -13,6 +13,13 @@
 ///    under actual execution semantics (a run can also fail because the
 ///    designated sender dies mid-transfer, so its rate is >= the analytic
 ///    FP; with failure times at the horizon's far end the two coincide).
+///
+/// Both are batched drivers: `estimate_failure_rate` flattens the mapping
+/// into SoA replica arrays once per call, and `run_trials` binds one
+/// `SimScratch` arena per parallel chunk, samples scenarios in place and
+/// recycles the result buffers — zero heap allocations per steady-state
+/// trial, with results bit-identical at any thread count (fixed chunk
+/// grids, per-chunk split RNG streams, index-order Kahan/Welford merges).
 
 #include <cstdint>
 

@@ -30,12 +30,22 @@ struct TraceOp {
 };
 
 /// Chronologically ordered (by start, then record order) operation log.
+///
+/// An appendable flat record buffer, designed to compose with `SimScratch`
+/// reuse: `record` appends, `clear` keeps the capacity, and `reserve` warms
+/// the buffer up front, so a per-worker trace drained (or cleared) between
+/// `simulate_into` runs records operations without allocating in steady
+/// state. A failure-free run bounds the operation count of every scenario
+/// on the same instance (failures only skip operations), so one traced
+/// failure-free warm-up run sizes the buffer for good.
 class Trace {
  public:
   void record(const TraceOp& op) { ops_.push_back(op); }
   [[nodiscard]] const std::vector<TraceOp>& ops() const { return ops_; }
   [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  /// Drops the records but keeps the capacity for the next run.
   void clear() { ops_.clear(); }
+  void reserve(std::size_t capacity) { ops_.reserve(capacity); }
 
   /// Multi-line human-readable dump.
   [[nodiscard]] std::string describe() const;

@@ -49,6 +49,27 @@ TEST(Exhaustive, BudgetAbortsWithError) {
   ASSERT_FALSE(exhaustive_min_latency_for_fp(pipe, plat, 0.9, ex).has_value());
 }
 
+TEST(Exhaustive, SaturatedCandidateSpaceRejectedBeforeRankArithmetic) {
+  // 15 stages on 30 processors: the grouping counts saturate at uint64 max
+  // (see test_util_enumeration), so the flat candidate index space cannot be
+  // addressed — its block offsets would be meaningless. The driver must
+  // reject the instance up front, *even with an unlimited budget*, instead
+  // of unranking against a saturated count. Until a split-key
+  // (composition-block, offset) scheme exists, such instances are simply
+  // out of reach for the chunked enumerators.
+  const auto pipe = gen::random_uniform_pipeline(15, 7);
+  gen::PlatformGenOptions options;
+  options.processors = 30;
+  const auto plat = gen::random_comm_hom_het_failures(options, 8);
+  EXPECT_EQ(interval_mapping_count(15, 30), ~std::uint64_t{0});  // saturated sentinel
+  ExhaustiveOptions ex;
+  ex.max_evaluations = ~std::uint64_t{0};
+  const auto outcome = exhaustive_pareto(pipe, plat, ex);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, "budget");
+  ASSERT_FALSE(exhaustive_min_fp_for_latency(pipe, plat, 1e9, ex).has_value());
+}
+
 TEST(Exhaustive, FrontIsSortedAndMutuallyNonDominated) {
   const auto pipe = gen::random_uniform_pipeline(3, 5);
   gen::PlatformGenOptions options;

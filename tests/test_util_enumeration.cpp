@@ -313,6 +313,26 @@ TEST(InjectionIndexer, UnrankWalksEnumerationOrderAndRankInverts) {
   }
 }
 
+TEST(GroupingIndexer, CountSaturatesInsteadOfWrappingOnHugeInstances) {
+  // 30 items into 15 non-empty groups: far beyond 2^64 valid groupings. The
+  // DP must stick at the kSaturated sentinel instead of wrapping — a wrapped
+  // count would silently mis-address the rank space. A saturated count is
+  // *not* a size: unrank/rank arithmetic against it is meaningless, so every
+  // caller must reject it first (the enumeration drivers do; see the
+  // exhaustive budget tests). Addressing such instances at all needs a
+  // split-key (composition-block, offset) scheme — not implemented yet; this
+  // test documents the limitation.
+  const GroupingIndexer indexer(30, 15);
+  EXPECT_EQ(indexer.count(), kSaturated);
+  EXPECT_EQ(count_groupings(30, 15), kSaturated);
+  // A nearby small instance stays exact, so saturation is not over-eager.
+  EXPECT_LT(GroupingIndexer(10, 5).count(), kSaturated);
+  EXPECT_EQ(GroupingIndexer(10, 5).count(), count_groupings(10, 5));
+  // Saturating helpers the counts compose through stick rather than wrap.
+  EXPECT_EQ(sat_mul(kSaturated, 2), kSaturated);
+  EXPECT_EQ(sat_add(kSaturated, 1), kSaturated);
+}
+
 TEST(InjectionIndexer, NextWalksTheWholeSequence) {
   const InjectionIndexer indexer(3, 5);
   std::vector<std::size_t> word(3);
