@@ -10,9 +10,11 @@
 // the resulting statistics (two runs agree on a checksum iff the engine
 // produced bit-identical estimates — the determinism contract CI tracks).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "bench_util.hpp"
 #include "relap/exec/thread_pool.hpp"
@@ -55,9 +57,17 @@ void engine_throughput_row(benchutil::JsonReport& report, const char* name, cons
   options.trials = trials;
   options.dataset_count = dataset_count;
   options.pool = &serial;
-  const auto start = std::chrono::steady_clock::now();
-  const sim::TrialStats stats = sim::run_trials(pipe, plat, mapping, options);
-  const double elapsed = seconds_since(start);
+  // Counter-addressed trials make every repetition bit-identical, so repeat
+  // the run and keep the fastest pass: on a shared machine a single pass can
+  // absorb a preemption and report load, not engine throughput.
+  constexpr int kReps = 5;
+  sim::TrialStats stats;
+  double elapsed = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    stats = sim::run_trials(pipe, plat, mapping, options);
+    elapsed = std::min(elapsed, seconds_since(start));
+  }
   const double per_sec = elapsed > 0.0 ? static_cast<double>(trials) / elapsed : 0.0;
   benchutil::Checksum checksum;
   add_trial_stats(checksum, stats);
@@ -100,9 +110,14 @@ void engine_throughput(benchutil::JsonReport& report) {
     sim::MonteCarloOptions mc;
     mc.trials = 4'000'000;
     mc.pool = &serial;
-    const auto start = std::chrono::steady_clock::now();
-    const sim::FailureRateEstimate est = sim::estimate_failure_rate(plat, mapping, mc);
-    const double elapsed = seconds_since(start);
+    constexpr int kReps = 3;  // best-of, as above
+    sim::FailureRateEstimate est;
+    double elapsed = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      est = sim::estimate_failure_rate(plat, mapping, mc);
+      elapsed = std::min(elapsed, seconds_since(start));
+    }
     const double per_sec = elapsed > 0.0 ? static_cast<double>(mc.trials) / elapsed : 0.0;
     benchutil::Checksum checksum;
     checksum.add(est.empirical);

@@ -19,7 +19,19 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
+
+#include "relap/util/simd.hpp"
+
+// Build provenance macros, set per bench target by CMake; empty when a bench
+// is compiled outside the CMake build.
+#ifndef RELAP_BENCH_BUILD_TYPE
+#define RELAP_BENCH_BUILD_TYPE ""
+#endif
+#ifndef RELAP_BENCH_FLAGS
+#define RELAP_BENCH_FLAGS ""
+#endif
 
 /// Declares main(): print the reproduction tables, then run the registered
 /// google-benchmark timings.
@@ -82,13 +94,37 @@ class Checksum {
   std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
 };
 
+/// Compiler name + version for the artifact metadata block.
+inline std::string compiler_version() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 /// Minimal JSON object writer for the `BENCH_<name>.json` artifacts.
 /// Supports the flat shapes the benches need: scalar fields and numeric
 /// arrays. Doubles print with %.17g so the artifact round-trips exactly.
+///
+/// Every artifact opens with a `meta_*` provenance block — compiler, build
+/// type and flags, SIMD ISA, default lane width, hardware concurrency — so
+/// `bench/compare_bench.py` can tell when two artifacts came from different
+/// configurations instead of silently comparing their throughputs.
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {
     body_ += "{\n  \"bench\": \"" + name_ + '"';
+    field("meta_compiler", compiler_version());
+    field("meta_build_type", std::string(RELAP_BENCH_BUILD_TYPE));
+    field("meta_flags", std::string(RELAP_BENCH_FLAGS));
+    field("meta_isa", std::string(relap::util::simd::isa_name()));
+    field("meta_lane_width",
+          static_cast<std::uint64_t>(relap::util::simd::kDefaultLaneWidth));
+    field("meta_hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   }
 
   JsonReport& field(const char* key, double value) {

@@ -1,16 +1,20 @@
 #include "relap/algorithms/exhaustive.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <optional>
 #include <utility>
 
 #include "relap/exec/parallel.hpp"
+#include "relap/mapping/latency.hpp"
+#include "relap/mapping/mapping_lanes.hpp"
 #include "relap/mapping/mapping_view.hpp"
 #include "relap/mapping/throughput.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/enumeration.hpp"
 #include "relap/util/pareto.hpp"
+#include "relap/util/simd.hpp"
 #include "relap/util/strings.hpp"
 
 namespace relap::algorithms {
@@ -63,15 +67,14 @@ CandidateSpace build_candidate_space(std::size_t n, std::size_t m, std::size_t m
   return space;
 }
 
-/// Walks candidates of a `CandidateSpace` in flat-index order, keeping the
-/// evaluation scratch's composition cache in sync. `seek` unranks an
-/// arbitrary start; `advance` steps to the successor with the amortized-O(p)
-/// lexicographic `next`, re-deriving the composition only on wrap.
+/// Walks candidates of a `CandidateSpace` in flat-index order. `seek`
+/// unranks an arbitrary start; `advance` steps to the successor with the
+/// amortized-O(p) lexicographic `next`, re-deriving the composition only on
+/// wrap and reporting the wrap so the caller can refresh its per-composition
+/// cache (`LaneEvalBatch::set_composition`).
 class CandidateCursor {
  public:
-  CandidateCursor(const CandidateSpace& space, const pipeline::Pipeline& pipeline,
-                  mapping::EvalScratch& scratch)
-      : space_(space), pipeline_(pipeline), scratch_(scratch) {}
+  explicit CandidateCursor(const CandidateSpace& space) : space_(space) {}
 
   void seek(std::uint64_t flat_index) {
     block_ = 0;
@@ -87,10 +90,12 @@ class CandidateCursor {
     b.groupings.unrank(local % b.groupings.count(), group_of_, group_sizes_);
   }
 
-  /// Steps to the next candidate. Precondition: not at the last candidate.
-  void advance() {
+  /// Steps to the next candidate; returns true iff the composition changed
+  /// (so `lengths()` must be re-installed). Precondition: not at the last
+  /// candidate.
+  bool advance() {
     const PBlock* b = &space_.blocks[block_];
-    if (b->groupings.next(group_of_, group_sizes_)) return;
+    if (b->groupings.next(group_of_, group_sizes_)) return false;
     if (++composition_rank_ == b->compositions.count()) {
       ++block_;
       b = &space_.blocks[block_];
@@ -100,20 +105,19 @@ class CandidateCursor {
     }
     load_composition();
     b->groupings.unrank(0, group_of_, group_sizes_);
+    return true;
   }
 
+  [[nodiscard]] std::span<const std::size_t> lengths() const { return lengths_; }
   [[nodiscard]] std::span<const std::size_t> group_sizes() const { return group_sizes_; }
   [[nodiscard]] std::span<const std::size_t> group_of() const { return group_of_; }
 
  private:
   void load_composition() {
     space_.blocks[block_].compositions.unrank(composition_rank_, lengths_);
-    scratch_.set_composition(pipeline_, lengths_);
   }
 
   const CandidateSpace& space_;
-  const pipeline::Pipeline& pipeline_;
-  mapping::EvalScratch& scratch_;
   std::size_t block_ = 0;
   std::uint64_t composition_rank_ = 0;
   std::vector<std::size_t> lengths_;
@@ -121,29 +125,37 @@ class CandidateCursor {
   std::vector<std::size_t> group_sizes_;
 };
 
+using util::simd::effective_lane_width;
+
 /// Enumerates every interval mapping within the options' structural caps
 /// through the zero-allocation evaluation kernel, in parallel on the
 /// options' pool.
 ///
 /// The flat (composition x grouping) index space is cut into fixed
 /// `kCandidatesPerChunk`-sized chunks; each chunk seeks its start by
-/// rank/unrank, walks candidates with the lexicographic successor, evaluates
-/// through `mapping::evaluate_view` on per-chunk scratch, and folds into a
-/// per-chunk accumulator; accumulators merge serially in chunk-index order.
-/// Results are therefore identical at any thread count, and chunks are
-/// uniform in candidate count even when one composition dominates the space.
+/// rank/unrank, walks candidates with the lexicographic successor, stages
+/// admitted candidates into a W-lane `LaneEvalBatch`, and consumes each
+/// flushed batch in push (= candidate index) order into a per-chunk
+/// accumulator; accumulators merge serially in chunk-index order. Results
+/// are therefore identical at any thread count *and* any lane width, and
+/// chunks are uniform in candidate count even when one composition dominates
+/// the space.
 ///
-/// `visit(acc, scratch, eval)` sees each candidate's objectives plus the
-/// scratch (for `view()`, `cache()`, `period_view`, `materialize`); it must
-/// not retain the view past the call.
+/// `visit(acc, view, cache, eval, idx)` sees each admitted candidate's
+/// objectives plus its view/cache (for `period_view`, `materialize`,
+/// `processors_used`) and its flat candidate index, which identifies the
+/// candidate across the whole space — visitors that only need the mapping of
+/// a few winners can carry the index and re-derive the view later instead of
+/// materializing in the hot loop. The view must not be retained past the
+/// call.
 ///
 /// Returns false iff the candidate count exceeds the evaluation budget (in
 /// which case nothing is evaluated).
-template <typename Acc, typename Visit, typename Merge>
-bool parallel_interval_enumeration(const pipeline::Pipeline& pipeline,
-                                   const platform::Platform& platform,
-                                   const ExhaustiveOptions& options, Acc& out, const Visit& visit,
-                                   const Merge& merge) {
+template <std::size_t W, typename Acc, typename Visit, typename Merge>
+bool parallel_interval_enumeration_w(const pipeline::Pipeline& pipeline,
+                                     const platform::Platform& platform,
+                                     const ExhaustiveOptions& options, Acc& out,
+                                     const Visit& visit, const Merge& merge) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   const std::size_t max_parts = std::min({n, m, options.max_intervals});
@@ -154,24 +166,52 @@ bool parallel_interval_enumeration(const pipeline::Pipeline& pipeline,
   out = exec::parallel_reduce(
       space.total, kCandidatesPerChunk, [] { return Acc(); },
       [&](Acc& local, std::size_t begin, std::size_t end, std::size_t) {
-        mapping::EvalScratch scratch(n, m);
-        CandidateCursor cursor(space, pipeline, scratch);
+        mapping::LaneEvalBatch<W> batch(n, m);
+        std::array<mapping::ViewEval, W> evals;
+        std::array<std::size_t, W> lane_idx{};  // flat index staged per lane
+        const auto flush = [&] {
+          batch.evaluate(platform, evals);
+          for (std::size_t l = 0; l < batch.size(); ++l) {
+            visit(local, batch.view(l), batch.cache(l), evals[l], lane_idx[l]);
+          }
+          batch.clear();
+        };
+        CandidateCursor cursor(space);
         cursor.seek(begin);
+        batch.set_composition(pipeline, cursor.lengths());
         for (std::size_t idx = begin;; ++idx) {
           const std::span<const std::size_t> sizes = cursor.group_sizes();
           if (std::none_of(sizes.begin(), sizes.end(),
                            [&](std::size_t s) { return s > options.max_replication; })) {
-            scratch.set_grouping(cursor.group_of(), sizes);
-            const mapping::ViewEval eval =
-                mapping::evaluate_view(platform, scratch.view(), scratch.cache());
-            visit(local, scratch, eval);
+            lane_idx[batch.size()] = idx;
+            batch.push_grouping(cursor.group_of(), sizes);
+            if (batch.full()) flush();
           }
           if (idx + 1 == end) break;
-          cursor.advance();
+          if (cursor.advance()) batch.set_composition(pipeline, cursor.lengths());
         }
+        if (!batch.empty()) flush();
       },
       merge, options.pool);
   return true;
+}
+
+/// Width dispatch for the interval enumerators (see
+/// `ExhaustiveOptions::lane_width`).
+template <typename Acc, typename Visit, typename Merge>
+bool parallel_interval_enumeration(const pipeline::Pipeline& pipeline,
+                                   const platform::Platform& platform,
+                                   const ExhaustiveOptions& options, Acc& out, const Visit& visit,
+                                   const Merge& merge) {
+  switch (effective_lane_width(options.lane_width)) {
+    case 1:
+      return parallel_interval_enumeration_w<1>(pipeline, platform, options, out, visit, merge);
+    case 4:
+      return parallel_interval_enumeration_w<4>(pipeline, platform, options, out, visit, merge);
+    case 8:
+      return parallel_interval_enumeration_w<8>(pipeline, platform, options, out, visit, merge);
+    default: RELAP_UNREACHABLE("lane_width must be 0, 1, 4 or 8");
+  }
 }
 
 /// Accumulator for the single-best entry points: the incumbent under a
@@ -188,7 +228,7 @@ using ValueComparator = bool (*)(const Objectives&, const Objectives&, double);
 
 /// Shared driver for the single-best entry points: enumerates all interval
 /// mappings, keeps the best admitted solution under `better` with `cap`.
-/// `admit(scratch, eval)` applies the entry point's feasibility filter.
+/// `admit(view, cache, eval)` applies the entry point's feasibility filter.
 /// Returns false iff the candidate count exceeds the evaluation budget.
 template <typename Admit>
 bool enumerate_best(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
@@ -197,14 +237,14 @@ bool enumerate_best(const pipeline::Pipeline& pipeline, const platform::Platform
   BestAccumulator acc;
   const bool completed = parallel_interval_enumeration(
       pipeline, platform, options, acc,
-      [&](BestAccumulator& local, const mapping::EvalScratch& scratch,
-          const mapping::ViewEval& eval) {
-        if (!admit(scratch, eval)) return;
+      [&](BestAccumulator& local, const mapping::MappingView& view,
+          const mapping::CompositionCache& cache, const mapping::ViewEval& eval, std::size_t) {
+        if (!admit(view, cache, eval)) return;
         const Objectives candidate{eval.latency, eval.failure_probability,
-                                   scratch.view().processors_used()};
+                                   view.processors_used()};
         if (!local.best || better(candidate, local.objectives, cap)) {
-          local.best = Solution{mapping::materialize(scratch.view()), eval.latency,
-                                eval.failure_probability};
+          local.best =
+              Solution{mapping::materialize(view), eval.latency, eval.failure_probability};
           local.objectives = candidate;
         }
       },
@@ -229,38 +269,41 @@ util::Error budget_error(const ExhaustiveOptions& options) {
 util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeline,
                                                 const platform::Platform& platform,
                                                 const ExhaustiveOptions& options) {
+  // Payloads are flat candidate indices, not materialized mappings: the hot
+  // loop only maintains (latency, FP, index) fronts, and the few surviving
+  // candidates are re-derived and materialized once after the scan — the
+  // same rank-instead-of-mapping trick the unreplicated enumerators use.
   struct FrontAccumulator {
     util::ParetoFront front;
-    std::vector<ParetoSolution> pool;  // payload storage; may hold dead entries
     std::uint64_t evaluations = 0;
   };
   FrontAccumulator acc;
   const bool completed = parallel_interval_enumeration(
       pipeline, platform, options, acc,
-      [](FrontAccumulator& local, const mapping::EvalScratch& scratch,
-         const mapping::ViewEval& eval) {
+      [](FrontAccumulator& local, const mapping::MappingView&, const mapping::CompositionCache&,
+         const mapping::ViewEval& eval, std::size_t idx) {
         ++local.evaluations;
-        const util::ParetoPoint point{eval.latency, eval.failure_probability, local.pool.size()};
-        if (local.front.insert(point)) {
-          local.pool.push_back(ParetoSolution{eval.latency, eval.failure_probability,
-                                              mapping::materialize(scratch.view())});
-        }
+        local.front.insert({eval.latency, eval.failure_probability, idx});
       },
       [](FrontAccumulator& into, FrontAccumulator&& from) {
         into.evaluations += from.evaluations;
-        for (const util::ParetoPoint& point : from.front.points()) {
-          if (into.front.insert({point.x, point.y, into.pool.size()})) {
-            into.pool.push_back(std::move(from.pool[point.payload]));
-          }
-        }
+        for (const util::ParetoPoint& point : from.front.points()) into.front.insert(point);
       });
   if (!completed) return budget_error(options);
 
   ParetoOutcome outcome;
   outcome.evaluations = acc.evaluations;
   outcome.front.reserve(acc.front.size());
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  const CandidateSpace space = build_candidate_space(n, m, std::min({n, m, options.max_intervals}));
+  CandidateCursor cursor(space);
+  mapping::EvalScratch scratch(n, m);
   for (const util::ParetoPoint& point : acc.front.points()) {
-    outcome.front.push_back(std::move(acc.pool[point.payload]));
+    cursor.seek(point.payload);
+    scratch.set_composition(pipeline, cursor.lengths());
+    scratch.set_grouping(cursor.group_of(), cursor.group_sizes());
+    outcome.front.push_back(ParetoSolution{point.x, point.y, mapping::materialize(scratch.view())});
   }
   return outcome;
 }
@@ -271,9 +314,8 @@ Result exhaustive_min_fp_for_latency(const pipeline::Pipeline& pipeline,
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_latency, &better_min_fp,
-      [&](const mapping::EvalScratch&, const mapping::ViewEval& eval) {
-        return within_cap(eval.latency, max_latency);
-      },
+      [&](const mapping::MappingView&, const mapping::CompositionCache&,
+          const mapping::ViewEval& eval) { return within_cap(eval.latency, max_latency); },
       best);
   if (!completed) return budget_error(options);
   if (!best) {
@@ -290,7 +332,8 @@ Result exhaustive_min_latency_for_fp(const pipeline::Pipeline& pipeline,
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_failure_probability, &better_min_latency,
-      [&](const mapping::EvalScratch&, const mapping::ViewEval& eval) {
+      [&](const mapping::MappingView&, const mapping::CompositionCache&,
+          const mapping::ViewEval& eval) {
         return within_cap(eval.failure_probability, max_failure_probability);
       },
       best);
@@ -309,10 +352,10 @@ Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeli
   std::optional<Solution> best;
   const bool completed = enumerate_best(
       pipeline, platform, options, max_latency, &better_min_fp,
-      [&](const mapping::EvalScratch& scratch, const mapping::ViewEval& eval) {
+      [&](const mapping::MappingView& view, const mapping::CompositionCache& cache,
+          const mapping::ViewEval& eval) {
         return within_cap(eval.latency, max_latency) &&
-               within_cap(mapping::period_view(platform, scratch.view(), scratch.cache()),
-                          max_period);
+               within_cap(mapping::period_view(platform, view, cache), max_period);
       },
       best);
   if (!completed) return budget_error(options);
@@ -340,12 +383,80 @@ void merge_ranked(RankedBest& into, RankedBest&& from) {
   if (from.has && (!into.has || from.latency < into.latency)) into = from;
 }
 
+/// Lane-batched chunk scan for the unreplicated enumerators: stages up to W
+/// successive assignments lane-major into `ids`, evaluates them with one
+/// `latency_assignment_lanes` call, and folds the results in rank order —
+/// the same strict-improvement scan as the scalar loop, so ties still go to
+/// the lowest rank at any lane width. `advance()` steps the enumeration to
+/// its successor; it is called exactly once per consumed candidate after the
+/// first, never past the last. A final partial batch leaves the unused
+/// lanes' prior (in-bounds) ids in place and ignores their outputs.
+template <std::size_t W, typename Advance>
+void ranked_lane_scan(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                      RankedBest& local, std::uint64_t begin, std::uint64_t end,
+                      std::span<const platform::ProcessorId> assignment,
+                      std::vector<std::uint64_t>& ids, const Advance& advance) {
+  const std::size_t n = assignment.size();
+  std::array<double, W> lat;
+  std::uint64_t idx = begin;
+  while (idx < end) {
+    const std::size_t count = static_cast<std::size_t>(std::min<std::uint64_t>(W, end - idx));
+    for (std::size_t l = 0; l < count; ++l) {
+      if (l > 0) advance();
+      for (std::size_t k = 0; k < n; ++k) ids[k * W + l] = assignment[k];
+    }
+    mapping::latency_assignment_lanes<W>(pipeline, platform, ids.data(), lat.data());
+    for (std::size_t l = 0; l < count; ++l) {
+      if (!local.has || lat[l] < local.latency) local = RankedBest{lat[l], idx + l, true};
+    }
+    idx += count;
+    if (idx < end) advance();
+  }
+}
+
+template <std::size_t W>
+RankedBest general_ranked_best(const pipeline::Pipeline& pipeline,
+                               const platform::Platform& platform,
+                               const util::AssignmentIndexer& indexer, std::uint64_t total,
+                               exec::ThreadPool* pool) {
+  const std::size_t n = pipeline.stage_count();
+  return exec::parallel_reduce(
+      total, kCandidatesPerChunk, [] { return RankedBest(); },
+      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<platform::ProcessorId> assignment(n);
+        std::vector<std::uint64_t> ids(n * W, 0);
+        indexer.unrank(begin, assignment);
+        ranked_lane_scan<W>(pipeline, platform, local, begin, end, assignment, ids,
+                            [&] { indexer.next(assignment); });
+      },
+      merge_ranked, pool);
+}
+
+template <std::size_t W>
+RankedBest one_to_one_ranked_best(const pipeline::Pipeline& pipeline,
+                                  const platform::Platform& platform,
+                                  const util::InjectionIndexer& indexer, std::uint64_t total,
+                                  exec::ThreadPool* pool) {
+  const std::size_t n = pipeline.stage_count();
+  return exec::parallel_reduce(
+      total, kCandidatesPerChunk, [] { return RankedBest(); },
+      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<platform::ProcessorId> assignment(n);
+        std::vector<bool> used;
+        std::vector<std::uint64_t> ids(n * W, 0);
+        indexer.unrank(begin, assignment, used);
+        ranked_lane_scan<W>(pipeline, platform, local, begin, end, assignment, ids,
+                            [&] { indexer.next(assignment, used); });
+      },
+      merge_ranked, pool);
+}
+
 }  // namespace
 
 GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
                                              const platform::Platform& platform,
-                                             std::uint64_t max_evaluations,
-                                             exec::ThreadPool* pool) {
+                                             std::uint64_t max_evaluations, exec::ThreadPool* pool,
+                                             std::size_t lane_width) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   const util::AssignmentIndexer indexer(n, m);
@@ -357,21 +468,13 @@ GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
                                  std::to_string(max_evaluations) + " evaluations");
   }
 
-  const RankedBest best = exec::parallel_reduce(
-      total, kCandidatesPerChunk, [] { return RankedBest(); },
-      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<platform::ProcessorId> assignment(n);
-        indexer.unrank(begin, assignment);
-        for (std::size_t idx = begin;; ++idx) {
-          const double lat = mapping::latency(pipeline, platform, std::span(assignment));
-          if (!local.has || lat < local.latency) {
-            local = RankedBest{lat, idx, true};
-          }
-          if (idx + 1 == end) break;
-          indexer.next(assignment);
-        }
-      },
-      merge_ranked, pool);
+  RankedBest best;
+  switch (effective_lane_width(lane_width)) {
+    case 1: best = general_ranked_best<1>(pipeline, platform, indexer, total, pool); break;
+    case 4: best = general_ranked_best<4>(pipeline, platform, indexer, total, pool); break;
+    case 8: best = general_ranked_best<8>(pipeline, platform, indexer, total, pool); break;
+    default: RELAP_UNREACHABLE("lane_width must be 0, 1, 4 or 8");
+  }
 
   std::vector<platform::ProcessorId> assignment(n);
   indexer.unrank(best.rank, assignment);
@@ -381,7 +484,7 @@ GeneralResult exhaustive_general_min_latency(const pipeline::Pipeline& pipeline,
 GeneralResult exhaustive_one_to_one_min_latency(const pipeline::Pipeline& pipeline,
                                                 const platform::Platform& platform,
                                                 std::uint64_t max_evaluations,
-                                                exec::ThreadPool* pool) {
+                                                exec::ThreadPool* pool, std::size_t lane_width) {
   const std::size_t n = pipeline.stage_count();
   const std::size_t m = platform.processor_count();
   if (n > m) return util::infeasible("one-to-one mappings need n <= m");
@@ -393,22 +496,13 @@ GeneralResult exhaustive_one_to_one_min_latency(const pipeline::Pipeline& pipeli
                                  std::to_string(max_evaluations) + " evaluations");
   }
 
-  const RankedBest best = exec::parallel_reduce(
-      total, kCandidatesPerChunk, [] { return RankedBest(); },
-      [&](RankedBest& local, std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<platform::ProcessorId> assignment(n);
-        std::vector<bool> used;
-        indexer.unrank(begin, assignment, used);
-        for (std::size_t idx = begin;; ++idx) {
-          const double lat = mapping::latency(pipeline, platform, std::span(assignment));
-          if (!local.has || lat < local.latency) {
-            local = RankedBest{lat, idx, true};
-          }
-          if (idx + 1 == end) break;
-          indexer.next(assignment, used);
-        }
-      },
-      merge_ranked, pool);
+  RankedBest best;
+  switch (effective_lane_width(lane_width)) {
+    case 1: best = one_to_one_ranked_best<1>(pipeline, platform, indexer, total, pool); break;
+    case 4: best = one_to_one_ranked_best<4>(pipeline, platform, indexer, total, pool); break;
+    case 8: best = one_to_one_ranked_best<8>(pipeline, platform, indexer, total, pool); break;
+    default: RELAP_UNREACHABLE("lane_width must be 0, 1, 4 or 8");
+  }
 
   std::vector<platform::ProcessorId> assignment(n);
   std::vector<bool> used;

@@ -46,6 +46,12 @@ struct ExhaustiveOptions {
   /// identical at any thread count and chunks stay uniform even when one
   /// composition dominates the candidate count.
   exec::ThreadPool* pool = nullptr;
+  /// SIMD lane width of the batched evaluation kernel: 1, 4 or 8 candidates
+  /// evaluated per `LaneEvalBatch` step, or 0 for the build's default
+  /// (`util::simd::kDefaultLaneWidth`). Results are bit-identical at any
+  /// width — the lane kernels follow the scalar oracle term for term and the
+  /// determinism suite pins W in {1, 4, 8} against each other.
+  std::size_t lane_width = 0;
 };
 
 /// One point of a latency/FP Pareto front together with a witness mapping.
@@ -94,17 +100,22 @@ struct ParetoOutcome {
 /// uniform chunks of the base-m rank space (digit 0 fastest — the serial
 /// odometer order); results are identical at any thread count, with ties
 /// resolved to the lowest rank exactly as the serial first-wins scan did.
+/// `lane_width` selects the SIMD batch width (0 = build default; results are
+/// bit-identical at any width).
 [[nodiscard]] GeneralResult exhaustive_general_min_latency(
     const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr);
+    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr,
+    std::size_t lane_width = 0);
 
 /// Exact minimum-latency one-to-one mapping by enumerating all injections
 /// (oracle for the Held-Karp solver). Parallelized over uniform chunks of
 /// the lexicographic injection rank space (the serial DFS order), with the
-/// same lowest-rank tie-breaking guarantee as the general enumerator.
+/// same lowest-rank tie-breaking guarantee as the general enumerator and the
+/// same `lane_width` convention.
 [[nodiscard]] GeneralResult exhaustive_one_to_one_min_latency(
     const pipeline::Pipeline& pipeline, const platform::Platform& platform,
-    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr);
+    std::uint64_t max_evaluations = 20'000'000, exec::ThreadPool* pool = nullptr,
+    std::size_t lane_width = 0);
 
 /// Number of interval-mapping candidates the exhaustive enumerator would
 /// visit on an (n, m) instance — used by benches to report search-space

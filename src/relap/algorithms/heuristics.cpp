@@ -1,6 +1,7 @@
 #include "relap/algorithms/heuristics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -10,8 +11,10 @@
 
 #include "relap/algorithms/local_search.hpp"
 #include "relap/exec/parallel.hpp"
+#include "relap/mapping/mapping_lanes.hpp"
 #include "relap/mapping/mapping_view.hpp"
 #include "relap/util/assert.hpp"
+#include "relap/util/simd.hpp"
 #include "relap/util/strings.hpp"
 
 namespace relap::algorithms {
@@ -223,6 +226,43 @@ double group_log_survival(const platform::Platform& platform, const Group& g) {
   return std::log1p(-product);
 }
 
+/// Evaluates the beam's surviving final states through the W-lane batch
+/// kernel (ragged `push_intervals` staging), each chunk writing its own
+/// solution slots. Lanes are consumed in push (= state index) order, so the
+/// sink sees the same sequence at any thread count and any lane width.
+template <std::size_t W>
+void evaluate_beam_finals(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
+                          const std::vector<BeamState>& finals,
+                          std::vector<std::optional<Solution>>& solutions,
+                          exec::ThreadPool* pool) {
+  const std::size_t n = pipeline.stage_count();
+  const std::size_t m = platform.processor_count();
+  constexpr std::size_t kStatesPerChunk = 8;
+  exec::parallel_for_chunks(
+      finals.size(), kStatesPerChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        mapping::LaneEvalBatch<W> batch(n, m);
+        std::array<mapping::ViewEval, W> evals;
+        std::size_t base = begin;
+        const auto flush = [&] {
+          batch.evaluate(platform, evals);
+          for (std::size_t l = 0; l < batch.size(); ++l) {
+            const std::size_t i = base + l;
+            solutions[i].emplace(Solution{mapping::IntervalMapping(finals[i].intervals),
+                                          evals[l].latency, evals[l].failure_probability});
+          }
+          base += batch.size();
+          batch.clear();
+        };
+        for (std::size_t i = begin; i < end; ++i) {
+          batch.push_intervals(pipeline, finals[i].intervals);
+          if (batch.full()) flush();
+        }
+        if (!batch.empty()) flush();
+      },
+      pool);
+}
+
 }  // namespace
 
 void enumerate_beam_candidates(const pipeline::Pipeline& pipeline,
@@ -315,27 +355,19 @@ void enumerate_beam_candidates(const pipeline::Pipeline& pipeline,
   // (bit-identical to evaluate()), and the owning mapping is built once per
   // surviving state instead of round-tripping through a second copy.
   //
-  // Evaluation is chunked over the surviving states (per-chunk EvalScratch,
-  // every state writes its own slot), and the sink consumes the solutions
-  // serially in state-index order afterwards — the same lowest-rank
-  // tie-breaking as the serial scan, so downstream first-wins incumbents
-  // are identical at any thread count.
+  // Evaluation is chunked over the surviving states through the lane batch
+  // kernel (every state writes its own slot), and the sink consumes the
+  // solutions serially in state-index order afterwards — the same
+  // lowest-rank tie-breaking as the serial scan, so downstream first-wins
+  // incumbents are identical at any thread count and any lane width.
   const std::vector<BeamState>& finals = beams[n];
   std::vector<std::optional<Solution>> solutions(finals.size());
-  constexpr std::size_t kStatesPerChunk = 8;
-  exec::parallel_for_chunks(
-      finals.size(), kStatesPerChunk,
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        mapping::EvalScratch scratch(n, m);
-        for (std::size_t i = begin; i < end; ++i) {
-          scratch.set_intervals(pipeline, finals[i].intervals);
-          const mapping::ViewEval eval =
-              mapping::evaluate_view(platform, scratch.view(), scratch.cache());
-          solutions[i].emplace(Solution{mapping::IntervalMapping(finals[i].intervals),
-                                        eval.latency, eval.failure_probability});
-        }
-      },
-      options.pool);
+  switch (util::simd::effective_lane_width(options.lane_width)) {
+    case 1: evaluate_beam_finals<1>(pipeline, platform, finals, solutions, options.pool); break;
+    case 4: evaluate_beam_finals<4>(pipeline, platform, finals, solutions, options.pool); break;
+    case 8: evaluate_beam_finals<8>(pipeline, platform, finals, solutions, options.pool); break;
+    default: RELAP_UNREACHABLE("lane_width must be 0, 1, 4 or 8");
+  }
   for (std::optional<Solution>& s : solutions) sink(*std::move(s));
 }
 

@@ -32,6 +32,7 @@
 /// computation w_k / s_{alloc(k)} per stage plus delta_k / b_{u,v} on every
 /// boundary where the processor changes, plus the P_in / P_out transfers.
 
+#include <cstdint>
 #include <span>
 
 #include "relap/mapping/general_mapping.hpp"
@@ -70,6 +71,19 @@ namespace relap::mapping {
 [[nodiscard]] double latency(const pipeline::Pipeline& pipeline,
                              const platform::Platform& platform,
                              std::span<const platform::ProcessorId> assignment);
+
+/// Lane-batched form of the span-assignment latency for the general and
+/// one-to-one enumerators: evaluates W assignments at once, one per SIMD
+/// lane. `ids` is lane-major — ids[k * W + l] holds assignment l's processor
+/// for stage k — and all W * n entries must be in-bounds processor ids (a
+/// partial batch keeps stale-but-valid ids in the unused lanes and the
+/// caller ignores those outputs). Writes out[l] for l in [0, W), each
+/// bit-identical to the scalar span overload on that lane's assignment.
+/// Instantiated for W in {1, 4, 8}.
+template <std::size_t W>
+void latency_assignment_lanes(const pipeline::Pipeline& pipeline,
+                              const platform::Platform& platform, const std::uint64_t* ids,
+                              double* out);
 
 /// Lower bound on the latency of *any* interval mapping on this instance:
 /// total work on the fastest processor plus the cheapest possible input and

@@ -96,18 +96,18 @@ namespace {
 /// Equation (1) latency: identical links. Same term order as `latency_eq1`.
 double latency_eq1_view(const platform::Platform& platform, const MappingView& view,
                         const CompositionCache& cache) {
-  const double b = platform.common_bandwidth();
+  const double inv_b = platform.inv_common_bandwidth();
   util::KahanSum total;
   const std::size_t p = view.interval_count();
   for (std::size_t j = 0; j < p; ++j) {
     const std::span<const platform::ProcessorId> group = view.group(j);
     const double k = static_cast<double>(group.size());
-    total.add(k * cache.data_first[j] / b);
+    total.add(k * cache.data_first[j] * inv_b);
     double lo = std::numeric_limits<double>::infinity();
     for (const platform::ProcessorId u : group) lo = std::min(lo, platform.speed(u));
     total.add(cache.work[j] / lo);
   }
-  total.add(cache.data_out / b);
+  total.add(cache.data_out * inv_b);
   return total.value();
 }
 
@@ -119,7 +119,7 @@ double latency_eq2_view(const platform::Platform& platform, const MappingView& v
   // Serialized initial transfers: P_in sends delta_0 to every replica of the
   // first interval (one-port model).
   for (const platform::ProcessorId u : view.group(0)) {
-    total.add(cache.data_first[0] / platform.bandwidth_in(u));
+    total.add(cache.data_first[0] * platform.inv_bandwidth_in(u));
   }
 
   const std::size_t p = view.interval_count();
@@ -128,14 +128,14 @@ double latency_eq2_view(const platform::Platform& platform, const MappingView& v
     const double out_size = cache.out_size[j];
     double worst = 0.0;
     for (const platform::ProcessorId u : view.group(j)) {
-      double term = work / platform.speed(u);
+      double term = work * platform.inv_speed(u);
       if (j + 1 < p) {
         // Serialized sends to every replica of the next interval.
         for (const platform::ProcessorId v : view.group(j + 1)) {
-          term += out_size / platform.bandwidth(u, v);
+          term += out_size * platform.inv_bandwidth(u, v);
         }
       } else {
-        term += out_size / platform.bandwidth_out(u);
+        term += out_size * platform.inv_bandwidth_out(u);
       }
       worst = std::max(worst, term);
     }

@@ -87,6 +87,29 @@ Platform::Platform(std::vector<double> speeds, std::vector<double> failure_probs
                  "failure probabilities must lie in [0, 1]");
   }
 
+  flat_bandwidth_.resize(m * m);
+  for (std::size_t u = 0; u < m; ++u) {
+    for (std::size_t v = 0; v < m; ++v) {
+      flat_bandwidth_[u * m + v] = u == v ? 1.0 : link_bandwidth_[u][v];
+    }
+  }
+
+  // Reciprocal tables for the latency evaluators: one rounded 1/x per entry,
+  // shared by the scalar oracle and the lane kernels so both multiply by the
+  // *same* double and stay bit-identical to each other.
+  inv_speeds_.resize(m);
+  inv_in_bandwidth_.resize(m);
+  inv_out_bandwidth_.resize(m);
+  flat_inv_bandwidth_.resize(m * m);
+  for (std::size_t u = 0; u < m; ++u) {
+    inv_speeds_[u] = 1.0 / speeds_[u];
+    inv_in_bandwidth_[u] = 1.0 / in_bandwidth_[u];
+    inv_out_bandwidth_[u] = 1.0 / out_bandwidth_[u];
+    for (std::size_t v = 0; v < m; ++v) {
+      flat_inv_bandwidth_[u * m + v] = 1.0 / flat_bandwidth_[u * m + v];
+    }
+  }
+
   const bool comm_hom = links_identical(link_bandwidth_, in_bandwidth_, out_bandwidth_);
   const bool speed_hom =
       std::all_of(speeds_.begin(), speeds_.end(), [&](double s) { return s == speeds_.front(); });
@@ -127,6 +150,11 @@ double Platform::bandwidth_out(ProcessorId u) const {
 double Platform::common_bandwidth() const {
   RELAP_ASSERT(has_homogeneous_links(), "common_bandwidth requires homogeneous links");
   return in_bandwidth_.front();
+}
+
+double Platform::inv_common_bandwidth() const {
+  RELAP_ASSERT(has_homogeneous_links(), "inv_common_bandwidth requires homogeneous links");
+  return inv_in_bandwidth_.front();
 }
 
 double Platform::common_failure_prob() const {

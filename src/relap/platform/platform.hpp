@@ -97,6 +97,11 @@ class Platform {
   /// The common link bandwidth b. Precondition: `has_homogeneous_links()`.
   [[nodiscard]] double common_bandwidth() const;
 
+  /// The rounded reciprocal 1/b of the common link bandwidth, shared by every
+  /// latency evaluator (see the reciprocal-table comment below).
+  /// Precondition: `has_homogeneous_links()`.
+  [[nodiscard]] double inv_common_bandwidth() const;
+
   /// The common failure probability. Precondition: `is_failure_homogeneous()`.
   [[nodiscard]] double common_failure_prob() const;
 
@@ -112,6 +117,39 @@ class Platform {
 
   [[nodiscard]] std::span<const double> speeds() const { return speeds_; }
   [[nodiscard]] std::span<const double> failure_probs() const { return failure_probs_; }
+  [[nodiscard]] std::span<const double> in_bandwidths() const { return in_bandwidth_; }
+  [[nodiscard]] std::span<const double> out_bandwidths() const { return out_bandwidth_; }
+
+  /// Row-major m-by-m copy of the link-bandwidth matrix for the lane
+  /// kernels' vector gathers: entry [u * m + v] equals `bandwidth(u, v)` for
+  /// u != v. Diagonal entries hold a harmless 1.0 so a masked-out lane whose
+  /// stale indices collide can still gather in bounds without tripping the
+  /// `bandwidth()` precondition; callers must mask such lanes out.
+  [[nodiscard]] std::span<const double> flat_link_bandwidths() const { return flat_bandwidth_; }
+
+  /// Reciprocal tables: entry-wise rounded 1/x of the speed and bandwidth
+  /// tables, precomputed once at construction. The latency evaluators
+  /// multiply by these instead of dividing — a division-throughput
+  /// optimisation — and because the scalar oracle and the lane kernels read
+  /// the *same* rounded reciprocals, their results stay bit-identical to each
+  /// other (each latency term differs from the division form by at most one
+  /// extra rounding). `flat_inv_link_bandwidths()` is row-major m-by-m with a
+  /// harmless 1.0 diagonal, mirroring `flat_link_bandwidths()`.
+  [[nodiscard]] std::span<const double> inv_speeds() const { return inv_speeds_; }
+  [[nodiscard]] std::span<const double> inv_in_bandwidths() const { return inv_in_bandwidth_; }
+  [[nodiscard]] std::span<const double> inv_out_bandwidths() const { return inv_out_bandwidth_; }
+  [[nodiscard]] std::span<const double> flat_inv_link_bandwidths() const {
+    return flat_inv_bandwidth_;
+  }
+
+  /// Scalar accessors over the reciprocal tables (same preconditions as the
+  /// corresponding bandwidth/speed accessors).
+  [[nodiscard]] double inv_speed(ProcessorId u) const { return inv_speeds_[u]; }
+  [[nodiscard]] double inv_bandwidth(ProcessorId u, ProcessorId v) const {
+    return flat_inv_bandwidth_[u * processor_count() + v];
+  }
+  [[nodiscard]] double inv_bandwidth_in(ProcessorId u) const { return inv_in_bandwidth_[u]; }
+  [[nodiscard]] double inv_bandwidth_out(ProcessorId u) const { return inv_out_bandwidth_[u]; }
 
   /// One-line human-readable description.
   [[nodiscard]] std::string describe() const;
@@ -122,6 +160,11 @@ class Platform {
   std::vector<std::vector<double>> link_bandwidth_;
   std::vector<double> in_bandwidth_;
   std::vector<double> out_bandwidth_;
+  std::vector<double> flat_bandwidth_;  // row-major m*m; diagonal = 1.0 (see accessor)
+  std::vector<double> inv_speeds_;          // 1/s_u
+  std::vector<double> inv_in_bandwidth_;    // 1/b_{in,u}
+  std::vector<double> inv_out_bandwidth_;   // 1/b_{u,out}
+  std::vector<double> flat_inv_bandwidth_;  // row-major m*m 1/b_{u,v}; diagonal = 1.0
   CommClass comm_class_;
   FailureClass failure_class_;
 };

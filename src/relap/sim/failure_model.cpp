@@ -42,6 +42,25 @@ void FailureScenario::draw_into(FailureScenario& scenario, const platform::Platf
   }
 }
 
+void FailureScenario::draw_indexed(FailureScenario& scenario, const platform::Platform& platform,
+                                   double horizon, std::uint64_t seed, std::uint64_t trial_index) {
+  RELAP_ASSERT(horizon > 0.0, "failure horizon must be positive");
+  const std::size_t m = platform.processor_count();
+  const std::span<const double> fp = platform.failure_probs();
+  scenario.failure_time.assign(m, kNever);
+  scenario.fail_after_first_receive.assign(m, false);
+  const std::uint64_t base = trial_index * 2 * static_cast<std::uint64_t>(m);
+  for (platform::ProcessorId u = 0; u < m; ++u) {
+    const std::uint64_t c = base + 2 * static_cast<std::uint64_t>(u);
+    // `unit < fp[u]` reproduces Rng::bernoulli exactly for fp in [0, 1]:
+    // unit lies in [0, 1), so fp == 0 can never fire and fp == 1 always does.
+    if (util::to_unit_double(util::counter_hash(seed, c)) < fp[u]) {
+      // uniform(0, horizon) == horizon * unit, drawn at the adjacent counter.
+      scenario.failure_time[u] = horizon * util::to_unit_double(util::counter_hash(seed, c + 1));
+    }
+  }
+}
+
 platform::ProcessorId worst_case_survivor(const pipeline::Pipeline& pipeline,
                                           const platform::Platform& platform,
                                           const mapping::IntervalAssignment& interval,

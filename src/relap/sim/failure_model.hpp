@@ -48,6 +48,16 @@ struct FailureScenario {
   static void draw_into(FailureScenario& scenario, const platform::Platform& platform,
                         double horizon, util::Rng& rng);
 
+  /// Counter-addressed variant of `draw_into`: every random decision of
+  /// trial `trial_index` is a `util::counter_hash` draw at an absolute
+  /// counter (2 per processor — breakdown Bernoulli, then death time), so
+  /// the realization depends only on (seed, trial_index, u). `run_trials`
+  /// samples with this, which makes its results invariant to thread count
+  /// and chunk grid *by construction* instead of by careful stream
+  /// splitting. Allocation-free once `scenario` is sized to the platform.
+  static void draw_indexed(FailureScenario& scenario, const platform::Platform& platform,
+                           double horizon, std::uint64_t seed, std::uint64_t trial_index);
+
   /// The adversarial scenario behind the latency formulas: in every replica
   /// group of `mapping`, all processors except the one with the largest
   /// Eq. (2) sender-side term die right after receiving their input.

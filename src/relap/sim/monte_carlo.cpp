@@ -1,26 +1,109 @@
 #include "relap/sim/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "relap/exec/parallel.hpp"
 #include "relap/mapping/reliability.hpp"
 #include "relap/util/assert.hpp"
 #include "relap/util/rng.hpp"
+#include "relap/util/simd.hpp"
 
 namespace relap::sim {
 
 namespace {
 
-/// Chunk grains for the parallel trial loops. Part of the deterministic
-/// result contract: changing a grain changes which chunk (and hence which
-/// split RNG stream) a trial belongs to, so these are fixed constants, not
-/// tuned per thread count. Bernoulli trials are branch-cheap, full-engine
-/// trials each run a discrete-event simulation.
+namespace simd = util::simd;
+
+/// Chunk grains for the parallel trial loops. Both drivers draw via
+/// `util::counter_hash` at absolute per-trial counters, so the grains only
+/// set task granularity — results are invariant to them (and to thread
+/// count and lane width) by construction. Bernoulli trials are branch-cheap,
+/// full-engine trials each run a discrete-event simulation.
 constexpr std::size_t kBernoulliGrain = 8192;
 constexpr std::size_t kEngineGrain = 16;
+
+/// SplitMix64 finalizer applied per lane, written in the vertical lane ops so
+/// the multiplies use `simd::mul_u`'s exact vpmuludq decomposition instead of
+/// per-lane GPR round-trips. Same constants and shift order as
+/// `util::splitmix64_mix`, hence the same bits per lane.
+template <std::size_t W>
+simd::UintLanes<W> mix_lanes(simd::UintLanes<W> z) {
+  z = simd::mul_u(simd::xor_u(z, simd::shr_u<30>(z)),
+                  simd::broadcast_u<W>(0xBF58476D1CE4E5B9ULL));
+  z = simd::mul_u(simd::xor_u(z, simd::shr_u<27>(z)),
+                  simd::broadcast_u<W>(0x94D049BB133111EBULL));
+  return simd::xor_u(z, simd::shr_u<31>(z));
+}
+
+/// W-wide Bernoulli replica-survival kernel: trials [begin, end) of the
+/// flattened mapping, W trials per lane step. Replica i of trial t draws
+/// `counter_hash(seed, t * R + i)` — for fixed t that is
+/// `mix(base + i * gamma)` with `base = seed + (t * R + 1) * gamma` — and
+/// fails when the unit double lands below its failure probability; a group
+/// is wiped when every replica lane-AND fails, the application when any
+/// group lane-ORs wiped. Returns the failure count over the range. Every
+/// lane reproduces the scalar counter walk bit for bit, so the count is
+/// identical at W in {1, 4, 8}; a final partial step pads with the last
+/// trial and discards the duplicate lanes.
+template <std::size_t W>
+simd::UintLanes<W> bernoulli_batch_failed(const simd::UintLanes<W>& base,
+                                          std::span<const double> replica_fp,
+                                          std::span<const std::size_t> group_offsets) {
+  const std::size_t group_count = group_offsets.size() - 1;
+  simd::UintLanes<W> failed = simd::broadcast_u<W>(0);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    simd::UintLanes<W> wiped = simd::broadcast_u<W>(~std::uint64_t{0});
+    for (std::size_t i = group_offsets[g]; i < group_offsets[g + 1]; ++i) {
+      const simd::UintLanes<W> z =
+          mix_lanes(simd::add_u(base, simd::broadcast_u<W>(i * util::kSplitMix64Gamma)));
+      wiped = simd::and_u(
+          wiped, simd::less(simd::to_unit_double_lanes(z), simd::broadcast<W>(replica_fp[i])));
+    }
+    failed = simd::or_u(failed, wiped);
+  }
+  return failed;
+}
+
+template <std::size_t W>
+std::size_t bernoulli_failures_w(std::uint64_t seed, std::size_t begin, std::size_t end,
+                                 std::span<const double> replica_fp,
+                                 std::span<const std::size_t> group_offsets) {
+  const std::uint64_t replica_count = replica_fp.size();
+  std::size_t failures = 0;
+  // Lane l of the running base is trial t0 + l's counter origin
+  // `seed + (t * R + 1) * gamma`; advancing the batch by W trials adds the
+  // same `W * R * gamma` to every lane, so the main loop carries the bases
+  // as a vector recurrence instead of re-deriving them with per-lane
+  // multiplies each step.
+  simd::UintLanes<W> base;
+  for (std::size_t l = 0; l < W; ++l) {
+    base.v[l] = seed + ((begin + l) * replica_count + 1) * util::kSplitMix64Gamma;
+  }
+  const simd::UintLanes<W> step =
+      simd::broadcast_u<W>(W * replica_count * util::kSplitMix64Gamma);
+  std::size_t t0 = begin;
+  for (; t0 + W <= end; t0 += W) {
+    failures += simd::count_set_lanes(bernoulli_batch_failed<W>(base, replica_fp, group_offsets));
+    base = simd::add_u(base, step);
+  }
+  if (t0 < end) {
+    // Partial tail: pad with the last trial and count only the live lanes.
+    const std::size_t count = end - t0;
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::uint64_t t = t0 + std::min(l, count - 1);
+      base.v[l] = seed + (t * replica_count + 1) * util::kSplitMix64Gamma;
+    }
+    const simd::UintLanes<W> failed =
+        bernoulli_batch_failed<W>(base, replica_fp, group_offsets);
+    for (std::size_t l = 0; l < count; ++l) failures += failed.v[l] != 0 ? 1 : 0;
+  }
+  return failures;
+}
 
 FailureRateEstimate make_estimate(std::size_t failures, std::size_t trials, double analytic) {
   FailureRateEstimate estimate;
@@ -42,15 +125,12 @@ FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
                                           const mapping::IntervalMapping& mapping,
                                           const MonteCarloOptions& options) {
   RELAP_ASSERT(options.trials >= 1, "need at least one trial");
-  util::Rng root(options.seed);
-  const exec::ChunkGrid grid = exec::chunk_grid(options.trials, kBernoulliGrain);
-  const std::vector<util::Rng> chunk_rngs = root.split_n(grid.chunks);
 
   // Flatten the mapping into SoA form once: the per-replica failure
-  // probabilities group-major (the exact order the nested loops drew them
-  // in, so the Bernoulli stream positions are unchanged) plus group
-  // offsets. The per-trial loop then touches two flat arrays instead of
-  // chasing the mapping's vector-of-vectors 2000+ times.
+  // probabilities group-major (the order that assigns replica i of trial t
+  // the absolute counter t * R + i) plus group offsets. The trial kernel
+  // then touches two flat arrays instead of chasing the mapping's
+  // vector-of-vectors 100k+ times.
   std::vector<double> replica_fp;
   std::vector<std::size_t> group_offsets;
   group_offsets.reserve(mapping.interval_count() + 1);
@@ -61,27 +141,24 @@ FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
     }
     group_offsets.push_back(replica_fp.size());
   }
-  const std::size_t group_count = mapping.interval_count();
 
   const std::size_t failures = exec::parallel_reduce(
       options.trials, kBernoulliGrain, [] { return std::size_t{0}; },
-      [&](std::size_t& local_failures, std::size_t begin, std::size_t end, std::size_t chunk) {
-        util::Rng rng = chunk_rngs[chunk];
-        for (std::size_t t = begin; t < end; ++t) {
-          bool app_failed = false;
-          for (std::size_t g = 0; g < group_count; ++g) {
-            bool group_wiped = true;
-            for (std::size_t i = group_offsets[g]; i < group_offsets[g + 1]; ++i) {
-              if (!rng.bernoulli(replica_fp[i])) {
-                group_wiped = false;
-                // Keep drawing the remaining replicas so the stream position
-                // does not depend on outcomes (reproducibility across
-                // refactors).
-              }
-            }
-            app_failed = app_failed || group_wiped;
-          }
-          local_failures += app_failed ? 1 : 0;
+      [&](std::size_t& local_failures, std::size_t begin, std::size_t end, std::size_t) {
+        switch (simd::effective_lane_width(options.lane_width)) {
+          case 1:
+            local_failures += bernoulli_failures_w<1>(options.seed, begin, end, replica_fp,
+                                                      group_offsets);
+            break;
+          case 4:
+            local_failures += bernoulli_failures_w<4>(options.seed, begin, end, replica_fp,
+                                                      group_offsets);
+            break;
+          case 8:
+            local_failures += bernoulli_failures_w<8>(options.seed, begin, end, replica_fp,
+                                                      group_offsets);
+            break;
+          default: RELAP_UNREACHABLE("lane_width must be 0, 1, 4 or 8");
         }
       },
       [](std::size_t& acc, std::size_t partial) { acc += partial; }, options.pool);
@@ -93,7 +170,6 @@ FailureRateEstimate estimate_failure_rate(const platform::Platform& platform,
 TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platform& platform,
                       const mapping::IntervalMapping& mapping, const TrialOptions& options) {
   RELAP_ASSERT(options.trials >= 1, "need at least one trial");
-  util::Rng root(options.seed);
 
   SimOptions sim_options;
   sim_options.dataset_count = options.dataset_count;
@@ -105,9 +181,6 @@ TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platfo
   RELAP_ASSERT(!reference.application_failed, "the failure-free run cannot fail");
   const double horizon = std::max(reference.makespan * options.horizon_factor, 1e-9);
 
-  const exec::ChunkGrid grid = exec::chunk_grid(options.trials, kEngineGrain);
-  const std::vector<util::Rng> chunk_rngs = root.split_n(grid.chunks);
-
   struct Accumulator {
     std::size_t failures = 0;
     util::StreamingStats latency;
@@ -118,10 +191,10 @@ TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platfo
   // no heap allocation. Workspaces are recycled through a freelist rather
   // than rebuilt per 16-trial chunk: every workspace is bound identically,
   // so which chunk borrows which cannot affect the results, and in steady
-  // state only as many workspaces exist as chunks ran concurrently. The
-  // chunk grid, per-chunk split RNG streams and index-order merge are
-  // unchanged, so results are bit-identical to the per-trial-allocation
-  // engine at any thread count.
+  // state only as many workspaces exist as chunks ran concurrently.
+  // Scenarios are counter-addressed per trial index (draw_indexed), and the
+  // merge is index-ordered, so results are bit-identical at any thread
+  // count or chunk grain by construction.
   struct Workspace {
     SimScratch scratch;
     SimResult run;
@@ -144,12 +217,10 @@ TrialStats run_trials(const pipeline::Pipeline& pipeline, const platform::Platfo
 
   const Accumulator totals = exec::parallel_reduce(
       options.trials, kEngineGrain, [] { return Accumulator{}; },
-      [&](Accumulator& local, std::size_t begin, std::size_t end, std::size_t chunk) {
-        util::Rng rng = chunk_rngs[chunk];
+      [&](Accumulator& local, std::size_t begin, std::size_t end, std::size_t) {
         std::unique_ptr<Workspace> w = acquire();
         for (std::size_t t = begin; t < end; ++t) {
-          util::Rng trial_rng = rng.split();
-          FailureScenario::draw_into(w->scratch.scenario(), platform, horizon, trial_rng);
+          FailureScenario::draw_indexed(w->scratch.scenario(), platform, horizon, options.seed, t);
           simulate_into(w->scratch, w->scratch.scenario(), sim_options, w->run);
           if (w->run.application_failed) {
             ++local.failures;

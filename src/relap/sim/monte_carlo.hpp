@@ -39,9 +39,14 @@ struct MonteCarloOptions {
   std::size_t trials = 100'000;
   std::uint64_t seed = 0xFEEDFACE12345ULL;
   /// Pool for the parallel trial loop; null uses `exec::ThreadPool::shared()`.
-  /// Results are bit-identical at any thread count (fixed chunk grid,
-  /// per-chunk split RNG, index-order reduction).
+  /// Results are bit-identical at any thread count: every replica draw is a
+  /// `util::counter_hash` at the absolute counter `trial * R + replica`, so
+  /// the realization is independent of the chunk grid.
   exec::ThreadPool* pool = nullptr;
+  /// SIMD lane width of the Bernoulli trial kernel — W trials are drawn and
+  /// reduced per step: 1, 4 or 8, or 0 for the build default. Counter
+  /// addressing makes the estimate bit-identical at any width.
+  std::size_t lane_width = 0;
 };
 
 struct FailureRateEstimate {
@@ -81,6 +86,11 @@ struct TrialOptions {
   /// makespan); a factor > 1 means failures can land after the run.
   double horizon_factor = 1.0;
   /// Pool for the parallel trial loop; null uses `exec::ThreadPool::shared()`.
+  /// Scenarios are counter-addressed per trial (`FailureScenario::
+  /// draw_indexed`), so results are bit-identical at any thread count or
+  /// chunk grain by construction; the event-driven engine itself stays
+  /// scalar (its control flow is data-dependent, which SIMD lanes cannot
+  /// follow bit-exactly).
   exec::ThreadPool* pool = nullptr;
 };
 

@@ -4,27 +4,11 @@
 
 namespace relap::util {
 
-bool dominates(const ParetoPoint& a, const ParetoPoint& b, double rel_tol, double abs_tol) {
-  const bool no_worse_x = a.x <= b.x || approx_equal(a.x, b.x, rel_tol, abs_tol);
-  const bool no_worse_y = a.y <= b.y || approx_equal(a.y, b.y, rel_tol, abs_tol);
-  if (!no_worse_x || !no_worse_y) return false;
-  const bool better_x = definitely_less(a.x, b.x, rel_tol, abs_tol);
-  const bool better_y = definitely_less(a.y, b.y, rel_tol, abs_tol);
-  return better_x || better_y;
-}
-
-bool ParetoFront::insert(const ParetoPoint& p) {
-  for (const ParetoPoint& q : points_) {
-    if (dominates(q, p, rel_tol_, abs_tol_)) return false;
-    if (approx_equal(q.x, p.x, rel_tol_, abs_tol_) && approx_equal(q.y, p.y, rel_tol_, abs_tol_)) {
-      return false;  // duplicate within tolerance
-    }
-  }
+void ParetoFront::insert_admitted(const ParetoPoint& p) {
   std::erase_if(points_, [&](const ParetoPoint& q) { return dominates(p, q, rel_tol_, abs_tol_); });
   const auto pos = std::lower_bound(points_.begin(), points_.end(), p,
                                     [](const ParetoPoint& a, const ParetoPoint& b) { return a.x < b.x; });
   points_.insert(pos, p);
-  return true;
 }
 
 const ParetoPoint* ParetoFront::best_y_within_x(double x_cap) const {

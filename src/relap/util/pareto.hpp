@@ -24,9 +24,17 @@ struct ParetoPoint {
 };
 
 /// True iff `a` dominates `b`: a is no worse in both coordinates and strictly
-/// better (beyond tolerance) in at least one.
-[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b, double rel_tol = 1e-9,
-                             double abs_tol = 1e-12);
+/// better (beyond tolerance) in at least one. Inline: the exhaustive driver
+/// runs the front's rejection scan once per enumerated candidate.
+[[nodiscard]] inline bool dominates(const ParetoPoint& a, const ParetoPoint& b,
+                                    double rel_tol = 1e-9, double abs_tol = 1e-12) {
+  const bool no_worse_x = a.x <= b.x || approx_equal(a.x, b.x, rel_tol, abs_tol);
+  const bool no_worse_y = a.y <= b.y || approx_equal(a.y, b.y, rel_tol, abs_tol);
+  if (!no_worse_x || !no_worse_y) return false;
+  const bool better_x = definitely_less(a.x, b.x, rel_tol, abs_tol);
+  const bool better_y = definitely_less(a.y, b.y, rel_tol, abs_tol);
+  return better_x || better_y;
+}
 
 /// Minimizing Pareto front over (x, y).
 class ParetoFront {
@@ -36,8 +44,20 @@ class ParetoFront {
 
   /// Inserts `p` unless it is dominated by (or duplicates) an existing point;
   /// removes any existing points that `p` dominates.
-  /// Returns true iff the point was inserted.
-  bool insert(const ParetoPoint& p);
+  /// Returns true iff the point was inserted. Inline: called once per
+  /// candidate by the exhaustive enumeration hot loop, where the (usually
+  /// rejecting) scan over a handful of points must not cost function calls.
+  bool insert(const ParetoPoint& p) {
+    for (const ParetoPoint& q : points_) {
+      if (dominates(q, p, rel_tol_, abs_tol_)) return false;
+      if (approx_equal(q.x, p.x, rel_tol_, abs_tol_) &&
+          approx_equal(q.y, p.y, rel_tol_, abs_tol_)) {
+        return false;  // duplicate within tolerance
+      }
+    }
+    insert_admitted(p);
+    return true;
+  }
 
   /// Points sorted by increasing x (hence decreasing y).
   [[nodiscard]] const std::vector<ParetoPoint>& points() const { return points_; }
@@ -57,6 +77,10 @@ class ParetoFront {
   [[nodiscard]] bool covers(const ParetoFront& other) const;
 
  private:
+  /// Cold half of `insert`: erases points `p` dominates and splices `p` into
+  /// x-sorted position. Out of line so the hot rejection scan stays small.
+  void insert_admitted(const ParetoPoint& p);
+
   double rel_tol_;
   double abs_tol_;
   std::vector<ParetoPoint> points_;

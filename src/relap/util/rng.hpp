@@ -18,14 +18,36 @@
 
 namespace relap::util {
 
-/// SplitMix64: used to expand a single seed into the xoshiro state.
-/// Reference: Sebastiano Vigna, public-domain implementation.
-[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = state;
+/// The golden-ratio increment of SplitMix64 (2^64 / phi, odd).
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+/// SplitMix64's output mixing function (finalizer).
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// SplitMix64: used to expand a single seed into the xoshiro state.
+/// Reference: Sebastiano Vigna, public-domain implementation.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += kSplitMix64Gamma;
+  return splitmix64_mix(state);
+}
+
+/// Counter-based (stateless) draw: the value SplitMix64 seeded with `seed`
+/// would produce at position `counter`. Unlike a sequential stream, every
+/// draw is addressed by an absolute index, so a parallel or lane-batched
+/// consumer obtains bit-identical values regardless of chunk grid, thread
+/// count or lane width — the Monte-Carlo drivers key their trials on this.
+[[nodiscard]] constexpr std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter) {
+  return splitmix64_mix(seed + (counter + 1) * kSplitMix64Gamma);
+}
+
+/// Canonical uint64 -> uniform double in [0, 1): 53 mantissa bits, exactly
+/// `Rng::uniform`'s conversion.
+[[nodiscard]] constexpr double to_unit_double(std::uint64_t z) {
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
 /// xoshiro256** generator. Satisfies `std::uniform_random_bit_generator`.

@@ -154,14 +154,4 @@ ProportionInterval clopper_pearson_interval(std::size_t successes, std::size_t t
   return interval;
 }
 
-bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
-  const double diff = std::fabs(a - b);
-  if (diff <= abs_tol) return true;
-  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
-}
-
-bool definitely_less(double a, double b, double rel_tol, double abs_tol) {
-  return a < b && !approx_equal(a, b, rel_tol, abs_tol);
-}
-
 }  // namespace relap::util

@@ -8,6 +8,8 @@
 /// aggregates millions of samples, so we provide Kahan-compensated summation
 /// and a Welford accumulator instead of naive `+=` loops.
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <span>
@@ -110,11 +112,20 @@ struct ProportionInterval {
 [[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
 
 /// Relative-tolerance comparison used throughout the tests and Pareto logic:
-/// true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
-[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-12);
+/// true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|). Inline: the Pareto-front
+/// rejection scan calls this per front point per candidate, which makes it
+/// hot in the exhaustive enumeration driver.
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                       double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
 
 /// a is strictly better (smaller) than b beyond tolerance.
-[[nodiscard]] bool definitely_less(double a, double b, double rel_tol = 1e-9,
-                                   double abs_tol = 1e-12);
+[[nodiscard]] inline bool definitely_less(double a, double b, double rel_tol = 1e-9,
+                                          double abs_tol = 1e-12) {
+  return a < b && !approx_equal(a, b, rel_tol, abs_tol);
+}
 
 }  // namespace relap::util

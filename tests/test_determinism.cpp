@@ -9,6 +9,7 @@
 
 #include "relap/algorithms/annealing.hpp"
 #include "relap/algorithms/exhaustive.hpp"
+#include "relap/algorithms/heuristics.hpp"
 #include "relap/algorithms/local_search.hpp"
 #include "relap/algorithms/pareto_driver.hpp"
 #include "relap/exec/thread_pool.hpp"
@@ -190,6 +191,114 @@ TEST(Determinism, HeuristicParetoFrontAcrossThreadCounts) {
     exec::ThreadPool pool(threads);
     options.pool = &pool;
     expect_same_front(algorithms::heuristic_pareto_front(pipe, plat, options), reference, threads);
+  }
+}
+
+// --- SIMD lane-width invariance: the lane kernels at W = 4 / 8 must be
+// bit-identical to the W = 1 scalar walk, the same contract thread-count
+// determinism pins for the exec subsystem. -------------------------------
+
+constexpr std::size_t kLaneWidths[] = {1, 4, 8};
+
+TEST(Determinism, ExhaustiveParetoAcrossLaneWidths) {
+  const auto pipe = gen::random_uniform_pipeline(3, 131);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 6;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 132);
+
+  algorithms::ExhaustiveOptions options;
+  options.lane_width = 1;
+  const auto reference = algorithms::exhaustive_pareto(pipe, plat, options);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t width : kLaneWidths) {
+    options.lane_width = width;
+    const auto outcome = algorithms::exhaustive_pareto(pipe, plat, options);
+    ASSERT_TRUE(outcome.has_value()) << "lane_width=" << width;
+    EXPECT_EQ(outcome->evaluations, reference->evaluations) << "lane_width=" << width;
+    expect_same_front(outcome->front, reference->front, width);
+  }
+}
+
+TEST(Determinism, GeneralEnumerationAcrossLaneWidths) {
+  const auto pipe = gen::random_uniform_pipeline(5, 141);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 5;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 142);
+
+  const auto reference =
+      algorithms::exhaustive_general_min_latency(pipe, plat, 20'000'000, nullptr, 1);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t width : kLaneWidths) {
+    const auto outcome =
+        algorithms::exhaustive_general_min_latency(pipe, plat, 20'000'000, nullptr, width);
+    ASSERT_TRUE(outcome.has_value()) << "lane_width=" << width;
+    EXPECT_EQ(outcome->mapping, reference->mapping) << "lane_width=" << width;
+    EXPECT_EQ(outcome->latency, reference->latency) << "lane_width=" << width;
+  }
+}
+
+TEST(Determinism, OneToOneEnumerationAcrossLaneWidths) {
+  const auto pipe = gen::random_uniform_pipeline(4, 151);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 8;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 152);
+
+  const auto reference =
+      algorithms::exhaustive_one_to_one_min_latency(pipe, plat, 20'000'000, nullptr, 1);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t width : kLaneWidths) {
+    const auto outcome =
+        algorithms::exhaustive_one_to_one_min_latency(pipe, plat, 20'000'000, nullptr, width);
+    ASSERT_TRUE(outcome.has_value()) << "lane_width=" << width;
+    EXPECT_EQ(outcome->mapping, reference->mapping) << "lane_width=" << width;
+    EXPECT_EQ(outcome->latency, reference->latency) << "lane_width=" << width;
+  }
+}
+
+TEST(Determinism, FailureRateEstimateAcrossLaneWidths) {
+  const auto plat = gen::fig5_platform();
+  const auto mapping = gen::fig5_two_interval_mapping();
+
+  sim::MonteCarloOptions options;
+  options.trials = 50'000;
+  options.lane_width = 1;
+  const sim::FailureRateEstimate reference = sim::estimate_failure_rate(plat, mapping, options);
+
+  for (const std::size_t width : kLaneWidths) {
+    options.lane_width = width;
+    expect_same_estimate(sim::estimate_failure_rate(plat, mapping, options), reference, width);
+  }
+}
+
+TEST(Determinism, BeamCandidatesAcrossLaneWidths) {
+  const auto pipe = gen::random_uniform_pipeline(6, 161);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 8;
+  const auto plat = gen::random_comm_hom_het_failures(gen_options, 162);
+
+  const auto collect = [&](std::size_t width) {
+    algorithms::HeuristicOptions options;
+    options.lane_width = width;
+    std::vector<algorithms::Solution> out;
+    algorithms::enumerate_beam_candidates(pipe, plat, options,
+                                          [&](algorithms::Solution s) { out.push_back(std::move(s)); });
+    return out;
+  };
+
+  const std::vector<algorithms::Solution> reference = collect(1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t width : kLaneWidths) {
+    const std::vector<algorithms::Solution> out = collect(width);
+    ASSERT_EQ(out.size(), reference.size()) << "lane_width=" << width;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].latency, reference[i].latency) << "lane_width=" << width << " i=" << i;
+      EXPECT_EQ(out[i].failure_probability, reference[i].failure_probability)
+          << "lane_width=" << width << " i=" << i;
+      EXPECT_EQ(out[i].mapping, reference[i].mapping) << "lane_width=" << width << " i=" << i;
+    }
   }
 }
 

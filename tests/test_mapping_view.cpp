@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -20,6 +21,7 @@
 #include "relap/gen/pipelines.hpp"
 #include "relap/gen/platforms.hpp"
 #include "relap/mapping/latency.hpp"
+#include "relap/mapping/mapping_lanes.hpp"
 #include "relap/mapping/reliability.hpp"
 #include "relap/mapping/throughput.hpp"
 #include "relap/util/enumeration.hpp"
@@ -151,6 +153,113 @@ TEST(MappingView, MatchesScalarEvaluatorsOnFullyHomogeneousPlatforms) {
   cross_check_random_mappings(pipe, plat, 323, 200);
 }
 
+/// Draws random mappings and streams them through a `LaneEvalBatch<W>` in
+/// enumeration form (set_composition before every push, so compositions
+/// change mid-batch), flushing full and final partial batches; every lane's
+/// result must match the scalar `evaluate_view` oracle bit for bit, and the
+/// lane views must materialize/period exactly like the scalar path.
+template <std::size_t W>
+void lane_cross_check_random_mappings(const pipeline::Pipeline& pipe,
+                                      const platform::Platform& plat, std::uint64_t seed,
+                                      int iterations, bool interval_mode) {
+  const std::size_t n = pipe.stage_count();
+  const std::size_t m = plat.processor_count();
+  util::Rng rng(seed);
+  mapping::EvalScratch scratch(n, m);
+  mapping::LaneEvalBatch<W> batch(n, m);
+  std::array<mapping::ViewEval, W> evals;
+  std::vector<std::size_t> lengths;
+  std::vector<std::size_t> group_of(m);
+  std::vector<std::size_t> group_sizes;
+  std::vector<mapping::IntervalMapping> staged;
+
+  const auto flush = [&] {
+    batch.evaluate(plat, evals);
+    for (std::size_t l = 0; l < batch.size(); ++l) {
+      scratch.set_intervals(pipe, staged[l].intervals());
+      const mapping::ViewEval oracle =
+          mapping::evaluate_view(plat, scratch.view(), scratch.cache());
+      EXPECT_EQ(evals[l].latency, oracle.latency) << "W=" << W << " lane " << l;
+      EXPECT_EQ(evals[l].failure_probability, oracle.failure_probability)
+          << "W=" << W << " lane " << l;
+      EXPECT_EQ(mapping::materialize(batch.view(l)), staged[l]) << "W=" << W << " lane " << l;
+      EXPECT_EQ(mapping::period_view(plat, batch.view(l), batch.cache(l)),
+                mapping::period(pipe, plat, staged[l]))
+          << "W=" << W << " lane " << l;
+    }
+    batch.clear();
+    staged.clear();
+  };
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::size_t p = 1 + static_cast<std::size_t>(rng.uniform_int(std::min(n, m)));
+    const util::CompositionIndexer compositions(n, p);
+    const util::GroupingIndexer groupings(m, p);
+    compositions.unrank(rng.uniform_int(compositions.count()), lengths);
+    group_sizes.resize(p);
+    groupings.unrank(rng.uniform_int(groupings.count()), group_of, group_sizes);
+
+    std::vector<std::vector<platform::ProcessorId>> groups(p);
+    for (platform::ProcessorId u = 0; u < m; ++u) {
+      if (group_of[u] < p) groups[group_of[u]].push_back(u);
+    }
+    staged.push_back(mapping::IntervalMapping::from_composition(lengths, groups));
+    if (interval_mode) {
+      batch.push_intervals(pipe, staged.back().intervals());
+    } else {
+      batch.set_composition(pipe, lengths);
+      batch.push_grouping(group_of, group_sizes);
+    }
+    if (batch.full()) flush();
+  }
+  if (!batch.empty()) flush();  // also exercises partial batches when W > 1
+}
+
+TEST(MappingLanes, MatchesScalarOracleOnCommHomogeneousPlatforms) {
+  const auto pipe = gen::random_uniform_pipeline(6, 401);
+  gen::PlatformGenOptions options;
+  options.processors = 7;
+  const auto plat = gen::random_comm_hom_het_failures(options, 402);
+  ASSERT_TRUE(plat.has_homogeneous_links());  // exercises the eq-(1) lane kernel
+  lane_cross_check_random_mappings<1>(pipe, plat, 403, 150, false);
+  lane_cross_check_random_mappings<4>(pipe, plat, 404, 150, false);
+  lane_cross_check_random_mappings<8>(pipe, plat, 405, 150, false);
+}
+
+TEST(MappingLanes, MatchesScalarOracleOnFullyHeterogeneousPlatforms) {
+  const auto pipe = gen::random_uniform_pipeline(5, 411);
+  gen::PlatformGenOptions options;
+  options.processors = 6;
+  const auto plat = gen::random_fully_heterogeneous(options, 412);
+  ASSERT_FALSE(plat.has_homogeneous_links());  // exercises the eq-(2) lane kernel
+  lane_cross_check_random_mappings<1>(pipe, plat, 413, 150, false);
+  lane_cross_check_random_mappings<4>(pipe, plat, 414, 150, false);
+  lane_cross_check_random_mappings<8>(pipe, plat, 415, 150, false);
+}
+
+TEST(MappingLanes, MatchesScalarOracleOnFullyHomogeneousPlatforms) {
+  const auto pipe = gen::random_uniform_pipeline(4, 421);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const auto plat = gen::random_fully_homogeneous(options, 422);
+  lane_cross_check_random_mappings<1>(pipe, plat, 423, 100, false);
+  lane_cross_check_random_mappings<4>(pipe, plat, 424, 100, false);
+  lane_cross_check_random_mappings<8>(pipe, plat, 425, 100, false);
+}
+
+TEST(MappingLanes, IntervalPushMatchesScalarOracle) {
+  // The heuristics staging mode: explicit interval assignments with ragged
+  // per-lane compositions and interval counts inside one batch.
+  const auto pipe = gen::random_uniform_pipeline(6, 431);
+  gen::PlatformGenOptions options;
+  options.processors = 7;
+  const auto het = gen::random_fully_heterogeneous(options, 432);
+  const auto hom = gen::random_comm_hom_het_failures(options, 433);
+  lane_cross_check_random_mappings<4>(pipe, het, 434, 150, true);
+  lane_cross_check_random_mappings<8>(pipe, het, 435, 150, true);
+  lane_cross_check_random_mappings<8>(pipe, hom, 436, 150, true);
+}
+
 TEST(MappingView, ViewAccessorsDescribeTheMapping) {
   const auto pipe = gen::random_uniform_pipeline(5, 331);
   mapping::EvalScratch scratch(5, 4);
@@ -216,6 +325,62 @@ TEST(MappingViewAllocation, SteadyStateInnerLoopIsAllocationFree) {
   }
   const std::size_t after = allocation_count();
   EXPECT_EQ(after, before) << "steady-state inner loop allocated " << (after - before)
+                           << " times over 2000 candidates";
+  EXPECT_GT(sink, 0.0);  // keep the loop observable
+}
+
+TEST(MappingViewAllocation, LaneBatchSteadyStateIsAllocationFree) {
+  const auto pipe = gen::random_uniform_pipeline(6, 441);
+  gen::PlatformGenOptions options;
+  options.processors = 7;
+  const auto plat = gen::random_fully_heterogeneous(options, 442);
+  const std::size_t n = 6;
+  const std::size_t m = 7;
+  const std::size_t p = 3;
+
+  const util::GroupingIndexer groupings(m, p);
+  const util::CompositionIndexer compositions(n, p);
+  std::vector<std::size_t> lengths;
+  std::vector<std::size_t> group_of(m);
+  std::vector<std::size_t> group_sizes(p);
+  constexpr std::size_t W = 8;
+  mapping::LaneEvalBatch<W> batch(n, m);
+  std::array<mapping::ViewEval, W> evals;
+
+  // Warm up one full cycle; the batch preallocates in its constructor, so
+  // nothing below may touch the heap.
+  std::uint64_t composition_rank = 0;
+  compositions.unrank(composition_rank, lengths);
+  batch.set_composition(pipe, lengths);
+  groupings.unrank(0, group_of, group_sizes);
+
+  double sink = 0.0;
+  const std::size_t before = allocation_count();
+  for (int i = 0; i < 2000; ++i) {
+    batch.push_grouping(group_of, group_sizes);
+    if (batch.full()) {
+      batch.evaluate(plat, evals);
+      for (std::size_t l = 0; l < batch.size(); ++l) {
+        sink += evals[l].latency + evals[l].failure_probability;
+        sink += mapping::period_view(plat, batch.view(l), batch.cache(l));
+      }
+      batch.clear();
+    }
+    if (!groupings.next(group_of, group_sizes)) {
+      // Composition wrap mid-batch, as in the real enumerator: the pushed
+      // lanes keep their copied columns and nothing allocates.
+      composition_rank = (composition_rank + 1) % compositions.count();
+      compositions.unrank(composition_rank, lengths);
+      batch.set_composition(pipe, lengths);
+      groupings.unrank(0, group_of, group_sizes);
+    }
+  }
+  if (!batch.empty()) {
+    batch.evaluate(plat, evals);
+    batch.clear();
+  }
+  const std::size_t after = allocation_count();
+  EXPECT_EQ(after, before) << "lane-batch steady state allocated " << (after - before)
                            << " times over 2000 candidates";
   EXPECT_GT(sink, 0.0);  // keep the loop observable
 }

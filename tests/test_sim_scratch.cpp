@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <vector>
 
@@ -282,6 +284,108 @@ TEST(SimScratchDeterminism, BatchedDriversAreBitIdenticalAcrossThreadCounts) {
     mc_options.pool = &pool;
     expect_same_estimate(estimate_failure_rate(plat, m, mc_options), mc_reference, threads);
   }
+}
+
+TEST(SimScratchLanes, DrawIndexedMatchesTheScalarCounterWalk) {
+  // The counter scheme pinned down: trial t uses counters t*2m + 2u
+  // (breakdown Bernoulli) and t*2m + 2u + 1 (death time) for processor u.
+  // Re-derive the scenario with scalar counter_hash calls and demand bit
+  // equality — and draws must be independent of call order (re-drawing an
+  // earlier trial reproduces it exactly).
+  gen::PlatformGenOptions options;
+  options.processors = 9;
+  options.fp_min = 0.1;
+  options.fp_max = 0.9;
+  const auto plat = gen::random_fully_heterogeneous(options, 921);
+  const std::size_t m = plat.processor_count();
+  const double horizon = 37.5;
+  const std::uint64_t seed = 0xABCDEF0123ULL;
+
+  FailureScenario scenario;
+  FailureScenario replay;
+  for (const std::uint64_t t : {std::uint64_t{0}, std::uint64_t{7}, std::uint64_t{123456}}) {
+    FailureScenario::draw_indexed(scenario, plat, horizon, seed, t);
+    for (platform::ProcessorId u = 0; u < m; ++u) {
+      const std::uint64_t c = t * 2 * m + 2 * u;
+      const bool dies = util::to_unit_double(util::counter_hash(seed, c)) < plat.failure_prob(u);
+      if (dies) {
+        const double expected = horizon * util::to_unit_double(util::counter_hash(seed, c + 1));
+        EXPECT_EQ(scenario.failure_time[u], expected) << "trial " << t << " proc " << u;
+      } else {
+        EXPECT_EQ(scenario.failure_time[u], std::numeric_limits<double>::infinity())
+            << "trial " << t << " proc " << u;
+      }
+      EXPECT_FALSE(scenario.fail_after_first_receive[u]);
+    }
+    // Out-of-order replay of the same trial index is bit-identical.
+    FailureScenario::draw_indexed(replay, plat, horizon, seed, 999);
+    FailureScenario::draw_indexed(replay, plat, horizon, seed, t);
+    EXPECT_EQ(replay.failure_time, scenario.failure_time) << "trial " << t;
+  }
+}
+
+TEST(SimScratchLanes, EstimateFailureRateIsLaneWidthInvariant) {
+  // W=1 runs the scalar counter walk; 4 and 8 run the lane kernel. All
+  // three must agree bit for bit, on every platform class.
+  exec::ThreadPool serial(1);
+  const auto check = [&](const platform::Platform& plat, const mapping::IntervalMapping& m) {
+    MonteCarloOptions mc;
+    mc.trials = 30'000;
+    mc.pool = &serial;
+    mc.lane_width = 1;
+    const FailureRateEstimate reference = estimate_failure_rate(plat, m, mc);
+    for (const std::size_t width : {std::size_t{4}, std::size_t{8}}) {
+      mc.lane_width = width;
+      expect_same_estimate(estimate_failure_rate(plat, m, mc), reference, width);
+    }
+  };
+
+  check(gen::fig5_platform(), gen::fig5_two_interval_mapping());
+  {
+    gen::PlatformGenOptions options;
+    options.processors = 7;
+    options.fp_min = 0.05;
+    options.fp_max = 0.6;
+    check(gen::random_comm_hom_het_failures(options, 931),
+          mapping::IntervalMapping({{{0, 1}, {0, 3}}, {{2, 3}, {1, 4, 6}}}));
+    check(gen::random_fully_heterogeneous(options, 932),
+          mapping::IntervalMapping({{{0, 2}, {2, 5}}, {{3, 3}, {0, 1, 6}}}));
+    check(gen::random_fully_homogeneous(options, 933),
+          mapping::IntervalMapping({{{0, 3}, {0, 1, 2, 3, 4, 5, 6}}}));
+  }
+}
+
+TEST(SimScratchAllocation, IndexedTrialLoopIsAllocationFree) {
+  // The run_trials steady state: counter-addressed scenario draws into a
+  // bound scratch + simulate_into, zero heap traffic per trial.
+  const auto pipe = gen::random_uniform_pipeline(6, 941);
+  gen::PlatformGenOptions options;
+  options.processors = 9;
+  options.fp_min = 0.2;
+  options.fp_max = 0.7;
+  const auto plat = gen::random_comm_hom_het_failures(options, 942);
+  const mapping::IntervalMapping m(
+      {{{0, 1}, {0, 3}}, {{2, 3}, {1, 4, 5}}, {{4, 5}, {2, 6, 7}}});
+  SimOptions sim_options;
+  sim_options.dataset_count = 2;
+
+  SimScratch scratch;
+  scratch.bind(pipe, plat, m, sim_options.send_order);
+  SimResult run;
+  FailureScenario::draw_indexed(scratch.scenario(), plat, 40.0, 17, 0);  // sizes the buffers
+  simulate_into(scratch, scratch.scenario(), sim_options, run);
+
+  double sink = 0.0;
+  const std::size_t before = allocation_count();
+  for (std::uint64_t t = 1; t <= 2000; ++t) {
+    FailureScenario::draw_indexed(scratch.scenario(), plat, 40.0, 17, t);
+    simulate_into(scratch, scratch.scenario(), sim_options, run);
+    sink += run.makespan;
+  }
+  const std::size_t after = allocation_count();
+  EXPECT_EQ(after, before) << "indexed trial loop allocated " << (after - before)
+                           << " times over 2000 trials";
+  EXPECT_GT(sink, 0.0);
 }
 
 }  // namespace
