@@ -1,0 +1,200 @@
+// Experiment: solver-service throughput (service/broker.hpp).
+//
+// Reproduction artifact: a duplicate-heavy multi-tenant workload — B base
+// instances, each presented R times under random stage/processor relabelings
+// (and power-of-two unit rescalings) — served cold (empty memo cache, every
+// request solves) and warm (cache primed, every request is a canonicalize +
+// probe + denormalize). The ratio is the price of a solve vs the price of
+// recognizing one, and the front checksums pin that warm replies are
+// bit-identical to the cold solves that filled the cache.
+//
+// Emits BENCH_service.json: cold/warm requests/sec (gated by
+// compare_bench.py), cache hit rate, and the label-independent FNV-1a
+// checksum of every base front (warn-compared across runs).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "relap/service/broker.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/util/rng.hpp"
+
+namespace {
+
+using namespace relap;
+
+using benchutil::seconds_since;
+
+constexpr std::size_t kBases = 4;
+constexpr std::size_t kDuplicatesPerBase = 6;
+constexpr std::size_t kStages = 6;
+constexpr std::size_t kProcessors = 8;
+
+service::SolveRequest base_request(std::uint64_t seed) {
+  const auto pipe = gen::random_uniform_pipeline(kStages, seed);
+  gen::PlatformGenOptions options;
+  options.processors = kProcessors;
+  const auto plat = gen::random_fully_heterogeneous(options, seed + 1000);
+  service::SolveRequest request;
+  request.instance = service::InstanceData::from(pipe, plat);
+  request.objective = service::Objective::ParetoFront;
+  // Forced heuristic: bounded, thread-count-deterministic solve times, so the
+  // cold/warm ratio measures the broker, not an exhaustive blowup.
+  request.method = algorithms::Method::Heuristic;
+  request.pareto_thresholds = 16;
+  return request;
+}
+
+std::vector<service::SolveRequest> cold_workload() {
+  std::vector<service::SolveRequest> requests;
+  for (std::size_t b = 0; b < kBases; ++b) requests.push_back(base_request(b * 7 + 3));
+  return requests;
+}
+
+/// R presentations of every base: random relabelings, half also rescaled.
+std::vector<service::SolveRequest> warm_workload() {
+  std::vector<service::SolveRequest> requests;
+  util::Rng rng(20'080'401);
+  for (std::size_t b = 0; b < kBases; ++b) {
+    const service::SolveRequest base = base_request(b * 7 + 3);
+    for (std::size_t r = 0; r < kDuplicatesPerBase; ++r) {
+      service::SolveRequest request = base;
+      std::vector<std::size_t> stage_order = util::iota_indices(base.instance.stages.size());
+      std::vector<std::size_t> processor_order =
+          util::iota_indices(base.instance.processors.size());
+      rng.shuffle(stage_order);
+      rng.shuffle(processor_order);
+      request.instance = base.instance.relabeled(stage_order, processor_order);
+      if (r % 2 == 1) request.instance = request.instance.scaled(2.0, 0.25, 0.5);
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+void print_tables() {
+  benchutil::header("solver service: cold vs warm request throughput");
+  std::printf("workload: %zu base instances (%zu stages x %zu processors), %zu presentations"
+              " each\n\n",
+              kBases, kStages, kProcessors, kDuplicatesPerBase);
+
+  benchutil::JsonReport report("service");
+  report.field("bases", static_cast<std::uint64_t>(kBases))
+      .field("duplicates_per_base", static_cast<std::uint64_t>(kDuplicatesPerBase))
+      .field("stages", static_cast<std::uint64_t>(kStages))
+      .field("processors", static_cast<std::uint64_t>(kProcessors));
+
+  service::Broker broker;
+  const std::vector<service::SolveRequest> cold = cold_workload();
+  const std::vector<service::SolveRequest> warm = warm_workload();
+
+  // Cold: every base solves. The broker's solves are bit-identical across
+  // repetitions, so best-of-N isolates throughput from machine load.
+  constexpr int kReps = 5;
+  double cold_elapsed = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    broker.clear_cache();
+    const auto start = std::chrono::steady_clock::now();
+    const auto replies = broker.solve_batch(cold);
+    cold_elapsed = std::min(cold_elapsed, seconds_since(start));
+    for (const auto& reply : replies) {
+      if (!reply.has_value() || reply->cache_hit) {
+        std::fprintf(stderr, "cold pass produced a non-cold reply\n");
+        std::exit(1);
+      }
+    }
+  }
+  const double cold_per_sec = static_cast<double>(cold.size()) / cold_elapsed;
+
+  // Checksum the cold fronts (cache is now primed by the last cold pass).
+  benchutil::Checksum fronts;
+  {
+    const auto replies = broker.solve_batch(cold);
+    for (const auto& reply : replies) fronts.add(service::front_checksum(reply->front));
+  }
+
+  // Warm: every presentation canonicalizes onto a primed key.
+  double warm_elapsed = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto replies = broker.solve_batch(warm);
+    warm_elapsed = std::min(warm_elapsed, seconds_since(start));
+    for (const auto& reply : replies) {
+      if (!reply.has_value() || !reply->cache_hit) {
+        std::fprintf(stderr, "warm pass produced a non-warm reply\n");
+        std::exit(1);
+      }
+    }
+  }
+  const double warm_per_sec = static_cast<double>(warm.size()) / warm_elapsed;
+  const double speedup = warm_per_sec / cold_per_sec;
+  const service::CacheStats stats = broker.cache_stats();
+
+  std::printf("%-6s %9s %12s %16s\n", "pass", "requests", "time", "requests/s");
+  std::printf("%-6s %9zu %11.3fms %16.0f\n", "cold", cold.size(), cold_elapsed * 1e3,
+              cold_per_sec);
+  std::printf("%-6s %9zu %11.3fms %16.0f\n", "warm", warm.size(), warm_elapsed * 1e3,
+              warm_per_sec);
+  std::printf("\nwarm/cold: %.1fx   cache: %llu hits / %llu misses (hit rate %.1f%%)   fronts %s\n",
+              speedup, static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), stats.hit_rate() * 100.0,
+              fronts.hex().c_str());
+  if (speedup < 10.0) {
+    std::fprintf(stderr, "warm throughput below 10x cold (%.1fx)\n", speedup);
+    std::exit(1);
+  }
+
+  report.field("cold_time_s", cold_elapsed)
+      .field("cold_requests_per_sec", cold_per_sec)
+      .field("warm_time_s", warm_elapsed)
+      .field("warm_requests_per_sec", warm_per_sec)
+      .field("warm_over_cold", speedup)
+      .field("hit_rate", stats.hit_rate())
+      .field("cache_hits", stats.hits)
+      .field("cache_misses", stats.misses)
+      .field("cache_evictions", stats.evictions)
+      .field("fronts_checksum", fronts.hex());
+  report.write();
+}
+
+// --- Microbenchmarks. -------------------------------------------------------
+
+void bm_canonicalize(benchmark::State& state) {
+  const service::SolveRequest request = base_request(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service::canonicalize(request.instance));
+  }
+}
+BENCHMARK(bm_canonicalize);
+
+void bm_warm_solve(benchmark::State& state) {
+  // One warm request end to end: canonicalize + probe + denormalize.
+  service::Broker broker;
+  const service::SolveRequest request = base_request(3);
+  if (!broker.solve(request).has_value()) state.SkipWithError("prime solve failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.solve(request));
+  }
+}
+BENCHMARK(bm_warm_solve)->Unit(benchmark::kMicrosecond);
+
+void bm_batch_dedup(benchmark::State& state) {
+  // A full duplicate-heavy batch against a primed cache.
+  service::Broker broker;
+  const auto cold = cold_workload();
+  const auto warm = warm_workload();
+  benchmark::DoNotOptimize(broker.solve_batch(cold));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.solve_batch(warm));
+  }
+}
+BENCHMARK(bm_batch_dedup)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

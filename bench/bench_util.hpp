@@ -12,7 +12,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "relap/util/hash.hpp"
 #include "relap/util/simd.hpp"
 
 // Build provenance macros, set per bench target by CMake; empty when a bench
@@ -61,38 +61,10 @@ inline double seconds_since(std::chrono::steady_clock::time_point start) {
 /// FNV-1a 64-bit fingerprint over double bit patterns, integers and strings.
 /// Used to pin a bench's result front in its JSON artifact: two runs agree
 /// on the checksum iff they produced bit-identical results in the same
-/// order, which is exactly the determinism contract CI exercises.
-class Checksum {
- public:
-  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
-
-  void add(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (v >> (8 * i)) & 0xFFU;
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
-
-  void add(std::string_view s) {
-    for (const char c : s) {
-      hash_ ^= static_cast<unsigned char>(c);
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
-
-  [[nodiscard]] std::uint64_t value() const { return hash_; }
-
-  /// "0x"-prefixed hex form for JSON string fields.
-  [[nodiscard]] std::string hex() const {
-    char buffer[24];
-    std::snprintf(buffer, sizeof buffer, "0x%016llx",
-                  static_cast<unsigned long long>(hash_));
-    return buffer;
-  }
-
- private:
-  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
-};
+/// order, which is exactly the determinism contract CI exercises. The
+/// implementation lives in util/hash.hpp so the service cache keys and the
+/// determinism tests share it (known-answer tested there).
+using Checksum = relap::util::Fnv1a;
 
 /// Compiler name + version for the artifact metadata block.
 inline std::string compiler_version() {

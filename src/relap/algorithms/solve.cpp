@@ -2,6 +2,7 @@
 
 #include "relap/algorithms/comm_hom.hpp"
 #include "relap/algorithms/fully_hom.hpp"
+#include "relap/algorithms/pareto_driver.hpp"
 #include "relap/util/assert.hpp"
 
 namespace relap::algorithms {
@@ -92,6 +93,38 @@ util::Expected<SolveReport> solve_min_latency_for_fp(const pipeline::Pipeline& p
         "heuristic suite + local search", false);
   };
   return dispatch(pipeline, platform, options, poly, exhaustive, heuristic);
+}
+
+util::Expected<FrontReport> solve_pareto_front(const pipeline::Pipeline& pipeline,
+                                               const platform::Platform& platform,
+                                               const SolveOptions& options) {
+  const auto exhaustive = [&]() -> util::Expected<FrontReport> {
+    auto outcome = exhaustive_pareto(pipeline, platform, options.exhaustive);
+    if (!outcome) return outcome.error();
+    return FrontReport{std::move(outcome.value().front), "exhaustive pareto", true,
+                       outcome.value().evaluations};
+  };
+  const auto heuristic = [&]() -> util::Expected<FrontReport> {
+    ParetoDriverOptions driver;
+    driver.thresholds = options.pareto_thresholds;
+    driver.pool = options.heuristic.pool;
+    // The sweep's per-threshold solver is the heuristic suite, so the front
+    // inherits its determinism contract (bit-identical at any thread count).
+    std::vector<ParetoSolution> front = heuristic_pareto_front(pipeline, platform, driver);
+    return FrontReport{std::move(front), "heuristic front sweep", false, 0};
+  };
+  switch (options.method) {
+    case Method::Exact:
+    case Method::Exhaustive: return exhaustive();
+    case Method::Heuristic: return heuristic();
+    case Method::Auto: {
+      const std::uint64_t candidates =
+          interval_mapping_count(pipeline.stage_count(), platform.processor_count());
+      if (candidates <= options.auto_exhaustive_budget) return exhaustive();
+      return heuristic();
+    }
+  }
+  RELAP_UNREACHABLE("invalid Method");
 }
 
 }  // namespace relap::algorithms

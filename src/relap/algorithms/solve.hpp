@@ -35,6 +35,10 @@ struct SolveOptions {
   /// Auto mode switches from exhaustive to heuristics above this many
   /// candidate mappings (see exhaustive.hpp's interval_mapping_count).
   std::uint64_t auto_exhaustive_budget = 2'000'000;
+  /// Latency thresholds swept when `solve_pareto_front` falls back to the
+  /// heuristic front (pareto_driver.hpp); ignored on the exhaustive path,
+  /// which enumerates the exact front directly.
+  std::size_t pareto_thresholds = 24;
   ExhaustiveOptions exhaustive;
   HeuristicOptions heuristic;
 };
@@ -47,6 +51,18 @@ struct SolveReport {
   bool exact = false;
 };
 
+/// Result of `solve_pareto_front`: the front plus the same provenance a
+/// `SolveReport` carries — this is the facade the service broker caches, so
+/// callers can tell an exact front from a best-effort one after a cache hit.
+struct FrontReport {
+  std::vector<ParetoSolution> front;
+  std::string algorithm;
+  /// True iff the front is the certified exact latency/FP front.
+  bool exact = false;
+  /// Candidates evaluated by the exhaustive path (0 on the heuristic path).
+  std::uint64_t evaluations = 0;
+};
+
 /// Minimize FP subject to latency <= L.
 [[nodiscard]] util::Expected<SolveReport> solve_min_fp_for_latency(
     const pipeline::Pipeline& pipeline, const platform::Platform& platform, double max_latency,
@@ -56,5 +72,14 @@ struct SolveReport {
 [[nodiscard]] util::Expected<SolveReport> solve_min_latency_for_fp(
     const pipeline::Pipeline& pipeline, const platform::Platform& platform,
     double max_failure_probability, const SolveOptions& options = {});
+
+/// The full latency/FP Pareto front under the same dispatch policy: exact
+/// (exhaustive) when the candidate count fits the budget, the heuristic
+/// threshold sweep otherwise. Method::Exact / Method::Exhaustive force the
+/// exhaustive path (error "budget" if the space exceeds the evaluation
+/// budget); Method::Heuristic forces the sweep.
+[[nodiscard]] util::Expected<FrontReport> solve_pareto_front(const pipeline::Pipeline& pipeline,
+                                                             const platform::Platform& platform,
+                                                             const SolveOptions& options = {});
 
 }  // namespace relap::algorithms

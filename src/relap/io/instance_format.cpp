@@ -1,8 +1,11 @@
 #include "relap/io/instance_format.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -244,6 +247,41 @@ std::string format_instance(const Instance& instance) {
     text += '\n';
   }
   return text;
+}
+
+namespace {
+
+void append_u64_le(std::uint64_t v, std::string& out) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFFU);
+}
+
+void append_double_bits(double v, std::string& out) {
+  append_u64_le(std::bit_cast<std::uint64_t>(v), out);
+}
+
+void append_column(std::span<const double> values, std::string& out) {
+  for (const double v : values) append_double_bits(v, out);
+}
+
+}  // namespace
+
+void append_instance_key_bytes(const pipeline::Pipeline& pipeline,
+                               const platform::Platform& platform, std::string& out) {
+  const std::size_t m = platform.processor_count();
+  out.reserve(out.size() + 8 * (2 + pipeline.stage_count() * 2 + 1 + m * (4 + m)));
+  append_u64_le(pipeline.stage_count(), out);
+  append_u64_le(m, out);
+  append_column(pipeline.work_vector(), out);
+  append_column(pipeline.data_vector(), out);
+  append_column(platform.speeds(), out);
+  append_column(platform.failure_probs(), out);
+  append_column(platform.in_bandwidths(), out);
+  append_column(platform.out_bandwidths(), out);
+  for (std::size_t u = 0; u < m; ++u) {
+    for (std::size_t v = 0; v < m; ++v) {
+      if (u != v) append_double_bits(platform.bandwidth(u, v), out);
+    }
+  }
 }
 
 util::Expected<bool> save_instance(const Instance& instance, const std::string& path) {

@@ -57,6 +57,16 @@ struct Instance {
 [[nodiscard]] util::Expected<bool> save_instance(const Instance& instance,
                                                  const std::string& path);
 
+/// Compact binary serialization of an instance, used by the service layer as
+/// the cache-key payload (service/cache.hpp): stage and processor counts
+/// followed by the raw little-endian IEEE-754 bit patterns of every column in
+/// a fixed order (work, data, speeds, failure probabilities, P_in/P_out
+/// bandwidths, then the off-diagonal link matrix row-major). Two instances
+/// produce the same bytes iff they are bit-identical as problems — the
+/// ignored link-matrix diagonal is excluded. Appends to `out`.
+void append_instance_key_bytes(const pipeline::Pipeline& pipeline,
+                               const platform::Platform& platform, std::string& out);
+
 /// Parses the one-line mapping syntax.
 [[nodiscard]] util::Expected<mapping::IntervalMapping> parse_mapping(std::string_view text);
 

@@ -1,0 +1,265 @@
+#include "relap/service/broker.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "relap/util/hash.hpp"
+
+namespace relap::service {
+
+namespace {
+
+void append_u64_le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void append_double_bits(std::string& out, double v) {
+  append_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+Broker::Broker(BrokerOptions options) : options_(options), cache_(options.cache) {}
+
+util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) const {
+  if (request.instance.stages.size() > options_.max_stages) {
+    return util::make_error("oversized",
+                            "request has " + std::to_string(request.instance.stages.size()) +
+                                " stages, broker admits at most " +
+                                std::to_string(options_.max_stages));
+  }
+  if (request.instance.processors.size() > options_.max_processors) {
+    return util::make_error("oversized",
+                            "request has " + std::to_string(request.instance.processors.size()) +
+                                " processors, broker admits at most " +
+                                std::to_string(options_.max_processors));
+  }
+  if (request.max_evaluations == 0) {
+    return util::make_error("malformed", "max_evaluations must be > 0");
+  }
+  if (request.objective == Objective::ParetoFront && request.pareto_thresholds < 2) {
+    return util::make_error("malformed", "pareto_thresholds must be >= 2 for a front sweep");
+  }
+  if (request.objective != Objective::ParetoFront) {
+    if (std::isnan(request.threshold)) {
+      return util::make_error("malformed", "threshold must not be NaN");
+    }
+    if (request.threshold < 0.0) {
+      return util::infeasible("no mapping satisfies a negative " +
+                              std::string(request.objective == Objective::MinFpForLatency
+                                              ? "latency"
+                                              : "failure probability") +
+                              " bound");
+    }
+  }
+
+  util::Expected<CanonicalInstance> canonical = canonicalize(request.instance);
+  if (!canonical.has_value()) return canonical.error();
+
+  Admitted admitted{std::move(canonical).take(), std::string(), 0, 0.0};
+  // Thresholds live in caller time units; the canonical form's latency axis
+  // is scaled by time_scale (an exact power of two), so the cap converts
+  // exactly too. FP caps are dimensionless.
+  switch (request.objective) {
+    case Objective::MinFpForLatency:
+      admitted.threshold_canonical = request.threshold * admitted.canonical.time_scale;
+      break;
+    case Objective::MinLatencyForFp:
+      admitted.threshold_canonical = request.threshold;
+      break;
+    case Objective::ParetoFront:
+      admitted.threshold_canonical = 0.0;
+      break;
+  }
+
+  // Full cache key: canonical instance bytes plus every knob that can change
+  // the solved front. pareto_thresholds only shapes ParetoFront sweeps, so
+  // it is zeroed otherwise to keep unrelated requests on one key.
+  admitted.full_key = admitted.canonical.key_bytes;
+  admitted.full_key.push_back(static_cast<char>(request.objective));
+  admitted.full_key.push_back(static_cast<char>(request.method));
+  append_double_bits(admitted.full_key, admitted.threshold_canonical);
+  append_u64_le(admitted.full_key, request.max_evaluations);
+  append_u64_le(admitted.full_key, request.objective == Objective::ParetoFront
+                                       ? static_cast<std::uint64_t>(request.pareto_thresholds)
+                                       : 0);
+  admitted.full_hash = util::fnv1a(admitted.full_key);
+  return admitted;
+}
+
+util::Expected<algorithms::FrontReport> Broker::solve_canonical(const SolveRequest& request,
+                                                                const Admitted& admitted) const {
+  algorithms::SolveOptions options;
+  options.method = request.method;
+  options.auto_exhaustive_budget = request.max_evaluations;
+  options.pareto_thresholds = request.pareto_thresholds;
+  options.exhaustive.max_evaluations = request.max_evaluations;
+  options.exhaustive.pool = options_.pool;
+  options.heuristic.pool = options_.pool;
+
+  const pipeline::Pipeline& pipeline = admitted.canonical.pipeline;
+  const platform::Platform& platform = admitted.canonical.platform;
+
+  if (request.objective == Objective::ParetoFront) {
+    return algorithms::solve_pareto_front(pipeline, platform, options);
+  }
+
+  util::Expected<algorithms::SolveReport> solved =
+      request.objective == Objective::MinFpForLatency
+          ? algorithms::solve_min_fp_for_latency(pipeline, platform,
+                                                 admitted.threshold_canonical, options)
+          : algorithms::solve_min_latency_for_fp(pipeline, platform,
+                                                 admitted.threshold_canonical, options);
+  if (!solved.has_value()) return solved.error();
+  algorithms::SolveReport report = std::move(solved).take();
+  algorithms::FrontReport front;
+  front.front.push_back(algorithms::ParetoSolution{report.solution.latency,
+                                                   report.solution.failure_probability,
+                                                   std::move(report.solution.mapping)});
+  front.algorithm = std::move(report.algorithm);
+  front.exact = report.exact;
+  return front;
+}
+
+Reply Broker::make_reply(const Admitted& admitted, const algorithms::FrontReport& report,
+                         bool cache_hit, double solve_seconds) const {
+  Reply reply;
+  reply.front = denormalize_front(admitted.canonical, report.front);
+  reply.algorithm = report.algorithm;
+  reply.exact = report.exact;
+  reply.cache_hit = cache_hit;
+  reply.solve_seconds = solve_seconds;
+  reply.canonical_hash = admitted.canonical.key_hash;
+  return reply;
+}
+
+util::Expected<Reply> Broker::solve(const SolveRequest& request) {
+  std::vector<util::Expected<Reply>> replies = solve_batch(std::span(&request, 1));
+  return std::move(replies.front());
+}
+
+std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequest> requests) {
+  const std::size_t count = requests.size();
+  std::vector<std::optional<util::Expected<Reply>>> staged(count);
+  std::vector<std::optional<Admitted>> admitted(count);
+
+  // Group requests with equal full keys (first-seen order): one solve per
+  // group, everyone else rides the cache.
+  struct Group {
+    std::uint64_t hash = 0;
+    std::vector<std::size_t> members;
+    int priority = 0;
+    double deadline = 0.0;
+    std::size_t arrival = 0;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string_view, std::size_t> group_of;
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Expected<Admitted> result = admit(requests[i]);
+    if (!result.has_value()) {
+      staged[i] = result.error();
+      continue;
+    }
+    admitted[i] = std::move(result).take();
+    const std::string_view key = admitted[i]->full_key;
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{admitted[i]->full_hash, {i}, requests[i].priority,
+                             requests[i].deadline, i});
+    } else {
+      Group& group = groups[it->second];
+      group.members.push_back(i);
+      group.priority = std::max(group.priority, requests[i].priority);
+      group.deadline = std::min(group.deadline, requests[i].deadline);
+    }
+  }
+
+  // Dispatch order: priority first, tighter deadline next, arrival last.
+  // The pool claims task indices in increasing order, so this is the order
+  // solves *start* in.
+  std::stable_sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.arrival < b.arrival;
+  });
+
+  exec::ThreadPool::resolve(options_.pool).run(groups.size(), [&](std::size_t g) {
+    const Group& group = groups[g];
+    const std::size_t lead_index = group.members.front();
+    const Admitted& lead = *admitted[lead_index];
+
+    std::shared_ptr<const algorithms::FrontReport> report = cache_.find(group.hash, lead.full_key);
+    const bool lead_hit = report != nullptr;
+    double solve_seconds = 0.0;
+    if (!report) {
+      const auto start = std::chrono::steady_clock::now();
+      util::Expected<algorithms::FrontReport> solved = solve_canonical(requests[lead_index], lead);
+      solve_seconds = elapsed_seconds(start);
+      if (!solved.has_value()) {
+        // Errors are not cached: every member gets its own copy.
+        for (const std::size_t member : group.members) staged[member] = solved.error();
+        return;
+      }
+      report = std::make_shared<const algorithms::FrontReport>(std::move(solved).take());
+      cache_.insert(group.hash, lead.full_key, report);
+    }
+    staged[lead_index] = make_reply(lead, *report, lead_hit, solve_seconds);
+
+    // Deduped members re-probe so the hit counters reflect them; the local
+    // report backstops the (theoretical) eviction race within one batch.
+    for (std::size_t k = 1; k < group.members.size(); ++k) {
+      const std::size_t member = group.members[k];
+      std::shared_ptr<const algorithms::FrontReport> cached =
+          cache_.find(group.hash, admitted[member]->full_key);
+      staged[member] = make_reply(*admitted[member], cached ? *cached : *report, true, 0.0);
+    }
+  });
+
+  std::vector<util::Expected<Reply>> replies;
+  replies.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) replies.push_back(std::move(*staged[i]));
+  return replies;
+}
+
+std::uint64_t Broker::submit(SolveRequest request) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  const std::uint64_t id = next_ticket_++;
+  queue_.emplace_back(id, std::move(request));
+  return id;
+}
+
+std::size_t Broker::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::vector<Broker::Drained> Broker::drain() {
+  std::vector<std::pair<std::uint64_t, SolveRequest>> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch.swap(queue_);
+  }
+  std::vector<SolveRequest> requests;
+  requests.reserve(batch.size());
+  for (auto& [id, request] : batch) requests.push_back(std::move(request));
+  std::vector<util::Expected<Reply>> replies = solve_batch(requests);
+  std::vector<Drained> drained;
+  drained.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    drained.push_back(Drained{batch[i].first, std::move(replies[i])});
+  }
+  return drained;
+}
+
+}  // namespace relap::service

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file broker.hpp
+/// The solver service: a long-lived, multi-tenant broker over the relap
+/// solver stack.
+///
+/// Request lifecycle:
+///
+///   1. **Admission.** Structural caps (`max_stages`/`max_processors`) reject
+///      oversized instances with code "oversized"; nonsense scheduling or
+///      solver parameters reject with "malformed". No library type is
+///      constructed yet, so malformed requests can never trip an assert.
+///   2. **Canonicalization** (canonical.hpp): validation, stage ordering,
+///      exact power-of-two scale normalization and deterministic processor
+///      relabeling. The broker *always* solves the canonical form — that is
+///      what makes a warm reply bit-identical to a cold one under any
+///      relabeling: both are the same denormalization of the same canonical
+///      front.
+///   3. **Cache probe** (cache.hpp). The key is the canonical instance bytes
+///      plus the objective, method, normalized threshold and budget knobs —
+///      everything that can change the solved front.
+///   4. **Solve on miss** via the algorithms facade (`solve_min_fp_for_latency`,
+///      `solve_min_latency_for_fp` or `solve_pareto_front`), on the broker's
+///      deterministic pool, honoring the request's evaluation budget.
+///      Infeasible / over-budget outcomes propagate as structured errors and
+///      are *not* cached (they are cheap to re-derive and an error cached
+///      under a budget would shadow a later, larger-budget success... the
+///      budget is part of the key, but infeasibility is kept symmetric).
+///   5. **Denormalization** back to the caller's labeling and units.
+///
+/// Batches (`solve_batch`, or `submit` + `drain`) additionally dedupe: member
+/// requests with equal full keys form one group, groups are ordered by
+/// (priority desc, deadline asc, arrival), and only each group's lead solves;
+/// the other members re-probe the cache and count as hits. Group dispatch
+/// rides the same deterministic exec pool the solvers use — nested `run()` is
+/// explicitly safe there.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "relap/exec/thread_pool.hpp"
+#include "relap/service/cache.hpp"
+#include "relap/service/canonical.hpp"
+#include "relap/service/request.hpp"
+
+namespace relap::service {
+
+struct BrokerOptions {
+  /// Pool for batch dispatch and the solver hot paths; null uses
+  /// `exec::ThreadPool::shared()`.
+  exec::ThreadPool* pool = nullptr;
+  FrontCache::Options cache;
+  /// Admission caps: requests beyond these reject with code "oversized".
+  std::size_t max_stages = 64;
+  std::size_t max_processors = 64;
+};
+
+class Broker {
+ public:
+  explicit Broker(BrokerOptions options = {});
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Serves one request synchronously.
+  [[nodiscard]] util::Expected<Reply> solve(const SolveRequest& request);
+
+  /// Serves a batch: replies in submission order, duplicates deduped onto one
+  /// solve, groups dispatched over the pool in priority order.
+  [[nodiscard]] std::vector<util::Expected<Reply>> solve_batch(
+      std::span<const SolveRequest> requests);
+
+  /// Queues a request for the next `drain()`; returns its ticket id.
+  std::uint64_t submit(SolveRequest request);
+
+  /// Number of submitted, not-yet-drained requests.
+  [[nodiscard]] std::size_t pending() const;
+
+  struct Drained {
+    std::uint64_t id = 0;
+    util::Expected<Reply> reply;
+  };
+
+  /// Serves every queued request as one batch; results carry the ticket ids
+  /// handed out by `submit`, in submission order.
+  [[nodiscard]] std::vector<Drained> drain();
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  /// A request that passed admission + canonicalization, ready to dispatch.
+  struct Admitted {
+    CanonicalInstance canonical;
+    std::string full_key;        ///< canonical bytes + objective/knob suffix
+    std::uint64_t full_hash = 0;
+    double threshold_canonical = 0.0;
+  };
+
+  [[nodiscard]] util::Expected<Admitted> admit(const SolveRequest& request) const;
+  [[nodiscard]] util::Expected<algorithms::FrontReport> solve_canonical(
+      const SolveRequest& request, const Admitted& admitted) const;
+  [[nodiscard]] Reply make_reply(const Admitted& admitted, const algorithms::FrontReport& report,
+                                 bool cache_hit, double solve_seconds) const;
+
+  BrokerOptions options_;
+  FrontCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::vector<std::pair<std::uint64_t, SolveRequest>> queue_;
+  std::uint64_t next_ticket_ = 1;
+};
+
+}  // namespace relap::service

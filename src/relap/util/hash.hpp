@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file hash.hpp
+/// FNV-1a 64-bit hashing — the one fingerprint implementation shared by the
+/// service cache keys, the bench `BENCH_<name>.json` result checksums and the
+/// determinism tests.
+///
+/// FNV-1a is a byte-stream hash: every input kind (doubles, integers,
+/// strings, raw buffers) is folded in as its constituent bytes in a fixed
+/// little-endian order, so two streams agree on the hash iff they fed in
+/// bit-identical data in the same order. That makes the value usable both as
+/// a cache key over canonical instance bytes (collisions resolved by full
+/// equality, see service/cache.hpp) and as a determinism checksum (two solver
+/// runs agree iff their result fronts are bit-identical).
+///
+/// Known-answer vectors (tests/test_util_hash.cpp): the empty stream hashes
+/// to the FNV offset basis 0xCBF29CE484222325; "a" to 0xAF63DC4C8601EC8C;
+/// "foobar" to 0x85944171F73967E8.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace relap::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+  /// Chained hashing: seed the state with a previous hash value.
+  explicit Fnv1a(std::uint64_t state) : hash_(state) {}
+
+  void add_byte(unsigned char byte) {
+    hash_ ^= byte;
+    hash_ *= kFnv1aPrime;
+  }
+
+  /// Folds in the 8 bytes of `v`, least-significant first (endian-stable).
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) add_byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFFU));
+  }
+
+  /// Folds in the IEEE-754 bit pattern of `v` (not its numeric value): two
+  /// doubles hash alike iff they are bit-identical, which is exactly the
+  /// determinism contract the checksums pin. Note 0.0 and -0.0 differ.
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+
+  void add(std::string_view s) {
+    for (const char c : s) add_byte(static_cast<unsigned char>(c));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+  /// "0x"-prefixed hex form for JSON string fields.
+  [[nodiscard]] std::string hex() const {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx", static_cast<unsigned long long>(hash_));
+    return buffer;
+  }
+
+ private:
+  std::uint64_t hash_ = kFnv1aOffsetBasis;
+};
+
+/// One-shot convenience over a byte string.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
+  Fnv1a h;
+  h.add(bytes);
+  return h.value();
+}
+
+}  // namespace relap::util

@@ -16,6 +16,7 @@
 #include "relap/gen/paper_instances.hpp"
 #include "relap/gen/pipelines.hpp"
 #include "relap/gen/platforms.hpp"
+#include "relap/service/broker.hpp"
 #include "relap/sim/monte_carlo.hpp"
 
 namespace relap {
@@ -298,6 +299,44 @@ TEST(Determinism, BeamCandidatesAcrossLaneWidths) {
       EXPECT_EQ(out[i].failure_probability, reference[i].failure_probability)
           << "lane_width=" << width << " i=" << i;
       EXPECT_EQ(out[i].mapping, reference[i].mapping) << "lane_width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(Determinism, BrokerWarmRepliesEqualColdAcrossThreadCounts) {
+  // The service contract on top of the exec contract: at every thread count,
+  // a warm-cache reply is bit-identical to the cold solve that filled the
+  // cache, and the cold fronts themselves agree across thread counts.
+  const auto pipe = gen::random_uniform_pipeline(4, 171);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 5;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 172);
+
+  service::SolveRequest request;
+  request.instance = service::InstanceData::from(pipe, plat);
+  request.objective = service::Objective::ParetoFront;
+
+  std::vector<algorithms::ParetoSolution> reference;
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    service::BrokerOptions broker_options;
+    broker_options.pool = &pool;
+    service::Broker broker(broker_options);  // fresh cache per thread count
+
+    const auto cold = broker.solve(request);
+    ASSERT_TRUE(cold.has_value()) << "threads=" << threads;
+    EXPECT_FALSE(cold->cache_hit) << "threads=" << threads;
+    const auto warm = broker.solve(request);
+    ASSERT_TRUE(warm.has_value()) << "threads=" << threads;
+    EXPECT_TRUE(warm->cache_hit) << "threads=" << threads;
+    expect_same_front(warm->front, cold->front, threads);
+    EXPECT_EQ(service::front_checksum(warm->front), service::front_checksum(cold->front))
+        << "threads=" << threads;
+
+    if (reference.empty()) {
+      reference = cold->front;
+    } else {
+      expect_same_front(cold->front, reference, threads);
     }
   }
 }

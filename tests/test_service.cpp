@@ -1,0 +1,442 @@
+// Tests for the solver service (service/{request,canonical,cache,broker}):
+// canonicalization quotients relabelings and power-of-two rescalings, cache
+// hits are bit-identical to cold solves, malformed requests come back as
+// structured errors, and the memo cache obeys its LRU/counter contract.
+
+#include "relap/service/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/service/canonical.hpp"
+#include "relap/util/rng.hpp"
+
+namespace relap::service {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+InstanceData small_instance(std::uint64_t seed, std::size_t stages = 4,
+                            std::size_t processors = 4) {
+  const auto pipe = gen::random_uniform_pipeline(stages, seed);
+  gen::PlatformGenOptions options;
+  options.processors = processors;
+  const auto plat = gen::random_fully_heterogeneous(options, seed + 1);
+  return InstanceData::from(pipe, plat);
+}
+
+InstanceData shuffled(const InstanceData& instance, std::uint64_t seed,
+                      std::vector<std::size_t>* processor_order_out = nullptr) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> stage_order = util::iota_indices(instance.stages.size());
+  std::vector<std::size_t> processor_order = util::iota_indices(instance.processors.size());
+  rng.shuffle(stage_order);
+  rng.shuffle(processor_order);
+  if (processor_order_out != nullptr) *processor_order_out = processor_order;
+  return instance.relabeled(stage_order, processor_order);
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Group sets of `reply` translated into the base labeling: processor id j of
+// the relabeled presentation is base record processor_order[j].
+std::vector<std::vector<std::size_t>> groups_in_base_labels(
+    const Reply& reply, std::size_t point, const std::vector<std::size_t>& processor_order) {
+  std::vector<std::vector<std::size_t>> groups;
+  for (const auto& assignment : reply.front[point].mapping.intervals()) {
+    std::vector<std::size_t> group;
+    for (const auto id : assignment.processors) group.push_back(processor_order[id]);
+    std::sort(group.begin(), group.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+// --- Canonicalization properties. ------------------------------------------
+
+TEST(Canonical, RelabelingsAndPow2ScalingsShareOneHash) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const InstanceData base = small_instance(seed);
+    const auto canonical = canonicalize(base);
+    ASSERT_TRUE(canonical.has_value());
+
+    const auto relabeled = canonicalize(shuffled(base, seed * 101));
+    ASSERT_TRUE(relabeled.has_value());
+    EXPECT_EQ(canonical->key_bytes, relabeled->key_bytes);
+    EXPECT_EQ(canonical->key_hash, relabeled->key_hash);
+
+    const auto scaled = canonicalize(base.scaled(0.25, 8.0, 2.0));
+    ASSERT_TRUE(scaled.has_value());
+    EXPECT_EQ(canonical->key_bytes, scaled->key_bytes);
+
+    const auto both = canonicalize(shuffled(base, seed * 103).scaled(4.0, 0.5, 0.125));
+    ASSERT_TRUE(both.has_value());
+    EXPECT_EQ(canonical->key_bytes, both->key_bytes);
+  }
+}
+
+TEST(Canonical, HoldsOnEveryPlatformClass) {
+  const auto pipe = gen::random_uniform_pipeline(5, 7);
+  gen::PlatformGenOptions options;
+  options.processors = 5;
+  const platform::Platform platforms[] = {
+      gen::random_fully_homogeneous(options, 11),
+      gen::random_comm_hom_het_failures(options, 12),
+      gen::random_fully_heterogeneous(options, 13),
+  };
+  for (const auto& plat : platforms) {
+    const InstanceData base = InstanceData::from(pipe, plat);
+    const auto canonical = canonicalize(base);
+    ASSERT_TRUE(canonical.has_value());
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto relabeled = canonicalize(shuffled(base, seed * 31 + 5));
+      ASSERT_TRUE(relabeled.has_value());
+      EXPECT_EQ(canonical->key_bytes, relabeled->key_bytes);
+    }
+  }
+}
+
+TEST(Canonical, DistinctInstancesGetDistinctHashes) {
+  const auto a = canonicalize(small_instance(1));
+  const auto b = canonicalize(small_instance(2));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->key_hash, b->key_hash);
+}
+
+TEST(Canonical, TimeScaleIsAPowerOfTwo) {
+  const auto canonical = canonicalize(small_instance(3));
+  ASSERT_TRUE(canonical.has_value());
+  int exponent = 0;
+  EXPECT_EQ(std::frexp(canonical->time_scale, &exponent), 0.5);
+}
+
+// --- Broker replies across presentations. ----------------------------------
+
+TEST(Broker, RelabeledDuplicateHitsCacheWithBitIdenticalFront) {
+  Broker broker;
+  SolveRequest request;
+  request.instance = small_instance(21);
+  request.objective = Objective::ParetoFront;
+
+  const auto cold = broker.solve(request);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_FALSE(cold->cache_hit);
+
+  std::vector<std::size_t> processor_order;
+  SolveRequest dup = request;
+  dup.instance = shuffled(request.instance, 77, &processor_order);
+  const auto warm = broker.solve(dup);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->canonical_hash, cold->canonical_hash);
+
+  ASSERT_EQ(warm->front.size(), cold->front.size());
+  for (std::size_t p = 0; p < cold->front.size(); ++p) {
+    EXPECT_TRUE(bits_equal(warm->front[p].latency, cold->front[p].latency));
+    EXPECT_TRUE(
+        bits_equal(warm->front[p].failure_probability, cold->front[p].failure_probability));
+    // Same replica groups once both are expressed in the base labeling.
+    std::vector<std::vector<std::size_t>> cold_groups;
+    for (const auto& assignment : cold->front[p].mapping.intervals()) {
+      std::vector<std::size_t> group(assignment.processors.begin(), assignment.processors.end());
+      cold_groups.push_back(std::move(group));
+    }
+    EXPECT_EQ(groups_in_base_labels(*warm, p, processor_order), cold_groups);
+  }
+  // The label-independent checksum agrees without any translation.
+  EXPECT_EQ(front_checksum(warm->front), front_checksum(cold->front));
+}
+
+TEST(Broker, Pow2RescaledDuplicateHitsCacheWithExactLatencyRelation) {
+  Broker broker;
+  SolveRequest request;
+  request.instance = small_instance(22);
+  request.objective = Objective::MinFpForLatency;
+  request.threshold = kInf;
+
+  const auto cold = broker.solve(request);
+  ASSERT_TRUE(cold.has_value());
+
+  const double time_factor = 8.0;
+  SolveRequest dup = request;
+  dup.instance = request.instance.scaled(2.0, 0.5, time_factor);
+  // The latency cap is in caller units; rescale it with the instance.
+  // (infinity stays infinity.)
+  const auto warm = broker.solve(dup);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->cache_hit);
+  // Rescaled clock: latencies divide by time_factor, exactly.
+  EXPECT_TRUE(bits_equal(warm->best().latency, cold->best().latency / time_factor));
+  EXPECT_TRUE(bits_equal(warm->best().failure_probability, cold->best().failure_probability));
+  EXPECT_EQ(warm->best().mapping, cold->best().mapping);
+}
+
+TEST(Broker, WarmReplyIsBitIdenticalToCold) {
+  for (const Objective objective :
+       {Objective::MinFpForLatency, Objective::MinLatencyForFp, Objective::ParetoFront}) {
+    Broker broker;
+    SolveRequest request;
+    request.instance = small_instance(23);
+    request.objective = objective;
+    request.threshold = objective == Objective::MinLatencyForFp ? 1.0 : kInf;
+
+    const auto cold = broker.solve(request);
+    ASSERT_TRUE(cold.has_value());
+    EXPECT_FALSE(cold->cache_hit);
+    const auto warm = broker.solve(request);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_TRUE(warm->cache_hit);
+
+    EXPECT_EQ(warm->algorithm, cold->algorithm);
+    EXPECT_EQ(warm->exact, cold->exact);
+    ASSERT_EQ(warm->front.size(), cold->front.size());
+    for (std::size_t p = 0; p < cold->front.size(); ++p) {
+      EXPECT_TRUE(bits_equal(warm->front[p].latency, cold->front[p].latency));
+      EXPECT_TRUE(
+          bits_equal(warm->front[p].failure_probability, cold->front[p].failure_probability));
+      EXPECT_EQ(warm->front[p].mapping, cold->front[p].mapping);
+    }
+    EXPECT_EQ(front_checksum(warm->front), front_checksum(cold->front));
+  }
+}
+
+TEST(Broker, SingleObjectiveRepliesCarryOnePoint) {
+  Broker broker;
+  SolveRequest request;
+  request.instance = small_instance(24);
+  request.objective = Objective::MinLatencyForFp;
+  request.threshold = 1.0;
+  const auto reply = broker.solve(request);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->front.size(), 1U);
+  EXPECT_TRUE(reply->exact);  // 4 stages x 4 processors fits the auto budget
+  EXPECT_GT(reply->best().latency, 0.0);
+}
+
+// --- Batch dedup + ticket queue. -------------------------------------------
+
+TEST(Broker, BatchDedupesEqualRequestsOntoOneSolve) {
+  Broker broker;
+  const InstanceData base = small_instance(25);
+  std::vector<SolveRequest> batch;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    SolveRequest request;
+    request.instance = r == 0 ? base : shuffled(base, 900 + r);
+    request.objective = Objective::ParetoFront;
+    request.priority = static_cast<int>(r % 2);
+    batch.push_back(std::move(request));
+  }
+  const auto replies = broker.solve_batch(batch);
+  ASSERT_EQ(replies.size(), batch.size());
+  std::size_t hits = 0;
+  for (const auto& reply : replies) {
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->canonical_hash, replies.front()->canonical_hash);
+    EXPECT_EQ(front_checksum(reply->front), front_checksum(replies.front()->front));
+    hits += reply->cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(hits, batch.size() - 1);  // one cold lead, everyone else warm
+  const CacheStats stats = broker.cache_stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, batch.size() - 1);
+  EXPECT_EQ(stats.entries, 1U);
+}
+
+TEST(Broker, SubmitDrainPreservesOrderAndTickets) {
+  Broker broker;
+  SolveRequest request;
+  request.instance = small_instance(26);
+  request.objective = Objective::MinFpForLatency;
+  request.threshold = kInf;
+  const std::uint64_t first = broker.submit(request);
+  request.priority = 5;
+  const std::uint64_t second = broker.submit(request);
+  EXPECT_EQ(broker.pending(), 2U);
+  const auto drained = broker.drain();
+  EXPECT_EQ(broker.pending(), 0U);
+  ASSERT_EQ(drained.size(), 2U);
+  EXPECT_EQ(drained[0].id, first);
+  EXPECT_EQ(drained[1].id, second);
+  ASSERT_TRUE(drained[0].reply.has_value());
+  ASSERT_TRUE(drained[1].reply.has_value());
+  EXPECT_TRUE(drained.back().reply->cache_hit);  // same instance+knobs = one key
+  EXPECT_TRUE(broker.drain().empty());
+}
+
+// --- Malformed-request hardening. ------------------------------------------
+
+SolveRequest valid_request() {
+  SolveRequest request;
+  request.instance = small_instance(27, 3, 3);
+  request.objective = Objective::MinFpForLatency;
+  request.threshold = kInf;
+  return request;
+}
+
+void expect_error(Broker& broker, const SolveRequest& request, const std::string& code) {
+  const auto reply = broker.solve(request);
+  ASSERT_FALSE(reply.has_value());
+  EXPECT_EQ(reply.error().code, code);
+}
+
+TEST(Broker, MalformedRequestsYieldStructuredErrors) {
+  Broker broker;
+
+  SolveRequest request = valid_request();
+  request.instance.stages.clear();
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.processors.clear();
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.stages[1].position = request.instance.stages[0].position;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.stages[2].position = 99;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.stages[0].work = std::nan("");
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.stages[0].work = -1.0;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.processors[1].failure_prob = 1.5;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.processors[0].speed = 0.0;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.instance.processors[2].links.pop_back();
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.threshold = std::nan("");
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.max_evaluations = 0;
+  expect_error(broker, request, "malformed");
+
+  request = valid_request();
+  request.objective = Objective::ParetoFront;
+  request.pareto_thresholds = 1;
+  expect_error(broker, request, "malformed");
+}
+
+TEST(Broker, InfeasibleAndOversizedRequestsRejectGracefully) {
+  BrokerOptions options;
+  options.max_stages = 4;
+  options.max_processors = 4;
+  Broker broker(options);
+
+  SolveRequest request = valid_request();
+  request.threshold = -1.0;
+  expect_error(broker, request, "infeasible");
+
+  // An FP cap of 0 on a platform whose processors all fail sometimes.
+  request = valid_request();
+  request.objective = Objective::MinLatencyForFp;
+  request.threshold = 0.0;
+  expect_error(broker, request, "infeasible");
+
+  request = valid_request();
+  request.instance = small_instance(28, 6, 3);
+  expect_error(broker, request, "oversized");
+
+  request = valid_request();
+  request.instance = small_instance(29, 3, 6);
+  expect_error(broker, request, "oversized");
+
+  // Forced exhaustive with a budget of 1 candidate: fails fast, not cached.
+  request = valid_request();
+  request.method = algorithms::Method::Exhaustive;
+  request.max_evaluations = 1;
+  expect_error(broker, request, "budget");
+  EXPECT_EQ(broker.cache_stats().entries, 0U);
+}
+
+// --- FrontCache unit behavior. ---------------------------------------------
+
+std::shared_ptr<const algorithms::FrontReport> dummy_report(const std::string& tag) {
+  auto report = std::make_shared<algorithms::FrontReport>();
+  report->algorithm = tag;
+  return report;
+}
+
+TEST(FrontCache, LruEvictionAndCounters) {
+  FrontCache::Options options;
+  options.capacity = 2;
+  options.shards = 1;
+  FrontCache cache(options);
+
+  cache.insert(1, "a", dummy_report("a"));
+  cache.insert(2, "b", dummy_report("b"));
+  ASSERT_NE(cache.find(1, "a"), nullptr);  // touch "a": "b" becomes LRU
+  cache.insert(3, "c", dummy_report("c"));
+
+  EXPECT_EQ(cache.find(2, "b"), nullptr);  // evicted
+  ASSERT_NE(cache.find(1, "a"), nullptr);
+  ASSERT_NE(cache.find(3, "c"), nullptr);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1U);
+  EXPECT_EQ(stats.hits, 3U);
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.entries, 2U);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.75);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0U);
+  EXPECT_EQ(cache.stats().evictions, 1U);  // counters describe traffic
+}
+
+TEST(FrontCache, HashCollisionsResolveByFullKey) {
+  FrontCache cache;
+  cache.insert(42, "left", dummy_report("left"));
+  cache.insert(42, "right", dummy_report("right"));
+  const auto left = cache.find(42, "left");
+  const auto right = cache.find(42, "right");
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(left->algorithm, "left");
+  EXPECT_EQ(right->algorithm, "right");
+  EXPECT_EQ(cache.find(42, "missing"), nullptr);
+}
+
+TEST(FrontCache, ReinsertRefreshesRecencyKeepsFirstValue) {
+  FrontCache::Options options;
+  options.capacity = 2;
+  options.shards = 1;
+  FrontCache cache(options);
+  cache.insert(1, "a", dummy_report("first"));
+  cache.insert(2, "b", dummy_report("b"));
+  cache.insert(1, "a", dummy_report("second"));  // refresh, value kept
+  cache.insert(3, "c", dummy_report("c"));       // evicts "b", not "a"
+  ASSERT_NE(cache.find(1, "a"), nullptr);
+  EXPECT_EQ(cache.find(1, "a")->algorithm, "first");
+  EXPECT_EQ(cache.find(2, "b"), nullptr);
+}
+
+}  // namespace
+}  // namespace relap::service

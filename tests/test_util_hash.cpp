@@ -1,0 +1,67 @@
+// Tests for util/hash.hpp: FNV-1a known-answer vectors and the typed
+// add() helpers the cache keys and bench checksums are built from.
+
+#include "relap/util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace relap::util {
+namespace {
+
+// Reference vectors from the FNV specification (Noll's published test suite).
+TEST(Fnv1a, KnownAnswers) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);  // empty input = offset basis
+  EXPECT_EQ(fnv1a("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a, StreamingMatchesOneShot) {
+  Fnv1a hash;
+  hash.add(std::string_view("foo"));
+  hash.add(std::string_view("bar"));
+  EXPECT_EQ(hash.value(), fnv1a("foobar"));
+}
+
+TEST(Fnv1a, U64FeedsLittleEndianBytes) {
+  // 'a' = 0x61 followed by seven zero bytes.
+  Fnv1a via_u64;
+  via_u64.add(static_cast<std::uint64_t>(0x61));
+  Fnv1a via_bytes;
+  via_bytes.add_byte(0x61);
+  for (int i = 0; i < 7; ++i) via_bytes.add_byte(0x00);
+  EXPECT_EQ(via_u64.value(), via_bytes.value());
+}
+
+TEST(Fnv1a, DoubleHashesBitPattern) {
+  Fnv1a via_double;
+  via_double.add(1.5);
+  Fnv1a via_u64;
+  via_u64.add(std::bit_cast<std::uint64_t>(1.5));
+  EXPECT_EQ(via_double.value(), via_u64.value());
+
+  // +0.0 and -0.0 compare equal but are distinct keys: the hash sees bits.
+  Fnv1a pos, neg;
+  pos.add(0.0);
+  neg.add(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+}
+
+TEST(Fnv1a, OrderSensitive) {
+  Fnv1a ab, ba;
+  ab.add_byte('a');
+  ab.add_byte('b');
+  ba.add_byte('b');
+  ba.add_byte('a');
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(Fnv1a, HexFormatting) {
+  EXPECT_EQ(Fnv1a().hex(), "0xcbf29ce484222325");
+  EXPECT_EQ(Fnv1a(0x1ULL).hex(), "0x0000000000000001");
+}
+
+}  // namespace
+}  // namespace relap::util
