@@ -1,0 +1,257 @@
+// Experiment: serving-front overhead (service/server.hpp + snapshot.hpp).
+//
+// Reproduction artifact: the same warm multi-tenant lookup served two ways —
+// in-process (`Broker::solve`) and over the wire (`Session::handle_line`
+// parsing the line protocol, solving, rendering the response text). The gap
+// is the full price of the text front: parse + dispatch + response
+// formatting. A third table times cache persistence: snapshot encode/save
+// and load/decode, whose entries/sec bound how fast a restarted server
+// returns to warm.
+//
+// Emits BENCH_serving.json: warm in-process and wire requests/sec plus
+// snapshot save/load entries/sec (gated by compare_bench.py) and the
+// label-independent front checksum of the served fronts (warn-compared).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/service/broker.hpp"
+#include "relap/service/server.hpp"
+#include "relap/service/snapshot.hpp"
+#include "relap/util/strings.hpp"
+
+namespace {
+
+using namespace relap;
+
+using benchutil::seconds_since;
+
+constexpr std::size_t kBases = 4;
+constexpr std::size_t kStages = 6;
+constexpr std::size_t kProcessors = 8;
+
+service::SolveRequest base_request(std::uint64_t seed) {
+  const auto pipe = gen::random_uniform_pipeline(kStages, seed);
+  gen::PlatformGenOptions options;
+  options.processors = kProcessors;
+  const auto plat = gen::random_fully_heterogeneous(options, seed + 1000);
+  service::SolveRequest request;
+  request.instance = service::InstanceData::from(pipe, plat);
+  request.objective = service::Objective::ParetoFront;
+  // Forced heuristic, as in bench_service: bounded deterministic solves.
+  request.method = algorithms::Method::Heuristic;
+  request.pareto_thresholds = 16;
+  return request;
+}
+
+/// Renders an instance as the protocol lines `instance <name> ... end`.
+std::vector<std::string> instance_lines(const std::string& name,
+                                        const service::InstanceData& instance) {
+  std::vector<std::string> lines;
+  lines.push_back("instance " + name);
+  lines.push_back("input " + util::format_double(instance.input_data));
+  for (const service::LabeledStage& stage : instance.stages) {
+    lines.push_back("stage " + std::to_string(stage.position) + ' ' +
+                    util::format_double(stage.work) + ' ' +
+                    util::format_double(stage.output_data));
+  }
+  for (const service::LabeledProcessor& proc : instance.processors) {
+    std::string line = "proc " + util::format_double(proc.speed) + ' ' +
+                       util::format_double(proc.failure_prob) + ' ' +
+                       util::format_double(proc.in_bandwidth) + ' ' +
+                       util::format_double(proc.out_bandwidth);
+    for (const double bandwidth : proc.links) line += ' ' + util::format_double(bandwidth);
+    lines.push_back(std::move(line));
+  }
+  lines.push_back("end");
+  return lines;
+}
+
+void expect_ok(const std::string& response, const char* what) {
+  if (response.rfind("ok ", 0) != 0) {
+    std::fprintf(stderr, "%s did not answer ok: %s\n", what, response.c_str());
+    std::exit(1);
+  }
+}
+
+void print_tables() {
+  benchutil::header("serving front: wire protocol overhead and snapshot speed");
+  std::printf("workload: %zu base instances (%zu stages x %zu processors), warm lookups\n\n",
+              kBases, kStages, kProcessors);
+
+  benchutil::JsonReport report("serving");
+  report.field("bases", static_cast<std::uint64_t>(kBases))
+      .field("stages", static_cast<std::uint64_t>(kStages))
+      .field("processors", static_cast<std::uint64_t>(kProcessors));
+
+  service::Broker broker;
+  service::Session session(broker);
+
+  // Register and prime every base through the wire (cold solves).
+  std::vector<service::SolveRequest> requests;
+  std::vector<std::string> solve_lines;
+  std::string response;
+  for (std::size_t b = 0; b < kBases; ++b) {
+    requests.push_back(base_request(b * 7 + 3));
+    const std::string name = "base" + std::to_string(b);
+    for (const std::string& line : instance_lines(name, requests.back().instance)) {
+      response.clear();
+      if (!session.handle_line(line, response)) std::exit(1);
+    }
+    expect_ok(response, "instance upload");
+    solve_lines.push_back("solve " + name + " obj=pareto method=heuristic sweep=16");
+    response.clear();
+    if (!session.handle_line(solve_lines.back(), response)) std::exit(1);
+    expect_ok(response, "priming solve");
+  }
+
+  constexpr int kReps = 5;
+
+  // Warm in-process: canonicalize + probe + denormalize, no text layer.
+  double inproc_elapsed = std::numeric_limits<double>::infinity();
+  benchutil::Checksum fronts;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const service::SolveRequest& request : requests) {
+      const auto reply = broker.solve(request);
+      if (!reply.has_value() || !reply->cache_hit) {
+        std::fprintf(stderr, "warm in-process pass produced a non-warm reply\n");
+        std::exit(1);
+      }
+      if (rep == 0) fronts.add(service::front_checksum(reply->front));
+    }
+    inproc_elapsed = std::min(inproc_elapsed, seconds_since(start));
+  }
+  const double inproc_per_sec = static_cast<double>(requests.size()) / inproc_elapsed;
+
+  // Warm over the wire: the same lookups through parse + response rendering.
+  double wire_elapsed = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string& line : solve_lines) {
+      response.clear();
+      if (!session.handle_line(line, response)) std::exit(1);
+      if (response.find("cache=hit") == std::string::npos) {
+        std::fprintf(stderr, "warm wire pass produced a non-warm reply\n");
+        std::exit(1);
+      }
+    }
+    wire_elapsed = std::min(wire_elapsed, seconds_since(start));
+  }
+  const double wire_per_sec = static_cast<double>(solve_lines.size()) / wire_elapsed;
+
+  // Snapshot persistence: save the primed cache, load it into a cold broker.
+  const std::string path = "BENCH_serving.snapshot.tmp";
+  double save_elapsed = std::numeric_limits<double>::infinity();
+  double load_elapsed = std::numeric_limits<double>::infinity();
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto save_start = std::chrono::steady_clock::now();
+    const auto saved = broker.save_snapshot(path);
+    save_elapsed = std::min(save_elapsed, seconds_since(save_start));
+    if (!saved.has_value()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", saved.error().to_string().c_str());
+      std::exit(1);
+    }
+    entries = saved->entries;
+    bytes = saved->bytes;
+
+    service::Broker fresh;
+    const auto load_start = std::chrono::steady_clock::now();
+    const auto loaded = fresh.load_snapshot(path);
+    load_elapsed = std::min(load_elapsed, seconds_since(load_start));
+    if (!loaded.has_value() || loaded->entries != entries) {
+      std::fprintf(stderr, "snapshot load failed or dropped entries\n");
+      std::exit(1);
+    }
+  }
+  std::remove(path.c_str());
+  const double save_per_sec = static_cast<double>(entries) / save_elapsed;
+  const double load_per_sec = static_cast<double>(entries) / load_elapsed;
+
+  std::printf("%-18s %9s %12s %16s\n", "path", "requests", "time", "requests/s");
+  std::printf("%-18s %9zu %11.3fms %16.0f\n", "warm in-process", requests.size(),
+              inproc_elapsed * 1e3, inproc_per_sec);
+  std::printf("%-18s %9zu %11.3fms %16.0f\n", "warm wire", solve_lines.size(),
+              wire_elapsed * 1e3, wire_per_sec);
+  std::printf("\nwire/in-process: %.2fx   fronts %s\n", wire_per_sec / inproc_per_sec,
+              fronts.hex().c_str());
+  std::printf("\nsnapshot: %zu entries, %zu bytes   save %.0f entries/s   load %.0f entries/s\n",
+              entries, bytes, save_per_sec, load_per_sec);
+
+  report.field("warm_inproc_requests_per_sec", inproc_per_sec)
+      .field("warm_wire_requests_per_sec", wire_per_sec)
+      .field("wire_over_inproc", wire_per_sec / inproc_per_sec)
+      .field("snapshot_entries", static_cast<std::uint64_t>(entries))
+      .field("snapshot_bytes", static_cast<std::uint64_t>(bytes))
+      .field("snapshot_save_entries_per_sec", save_per_sec)
+      .field("snapshot_load_entries_per_sec", load_per_sec)
+      .field("fronts_checksum", fronts.hex());
+  report.write();
+}
+
+// --- Microbenchmarks. -------------------------------------------------------
+
+void bm_wire_warm_solve(benchmark::State& state) {
+  // One warm solve line end to end: parse, dispatch, render the full reply.
+  service::Broker broker;
+  service::Session session(broker);
+  std::string response;
+  const service::SolveRequest request = base_request(3);
+  for (const std::string& line : instance_lines("x", request.instance)) {
+    response.clear();
+    if (!session.handle_line(line, response)) state.SkipWithError("upload failed");
+  }
+  response.clear();
+  if (!session.handle_line("solve x obj=pareto method=heuristic sweep=16", response)) {
+    state.SkipWithError("prime failed");
+  }
+  for (auto _ : state) {
+    response.clear();
+    benchmark::DoNotOptimize(
+        session.handle_line("solve x obj=pareto method=heuristic sweep=16", response));
+  }
+}
+BENCHMARK(bm_wire_warm_solve)->Unit(benchmark::kMicrosecond);
+
+void bm_stats_line(benchmark::State& state) {
+  service::Broker broker;
+  service::Session session(broker);
+  std::string response;
+  for (auto _ : state) {
+    response.clear();
+    benchmark::DoNotOptimize(session.handle_line("stats", response));
+  }
+}
+BENCHMARK(bm_stats_line)->Unit(benchmark::kMicrosecond);
+
+void bm_snapshot_codec(benchmark::State& state) {
+  // Encode + decode of a primed cache, no filesystem.
+  service::Broker broker;
+  for (std::size_t b = 0; b < kBases; ++b) {
+    if (!broker.solve(base_request(b * 7 + 3)).has_value()) {
+      state.SkipWithError("prime solve failed");
+    }
+  }
+  const std::string snapshot_path = "BENCH_serving.codec.tmp";
+  if (!broker.save_snapshot(snapshot_path).has_value()) state.SkipWithError("save failed");
+  for (auto _ : state) {
+    service::Broker fresh;
+    benchmark::DoNotOptimize(fresh.load_snapshot(snapshot_path));
+  }
+  std::remove(snapshot_path.c_str());
+}
+BENCHMARK(bm_snapshot_codec)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+RELAP_BENCH_MAIN(print_tables)

@@ -18,6 +18,10 @@ Metadata keys (``meta_*``) are informational: a mismatch (different
 compiler, ISA, build type...) prints a warning because throughput numbers
 from different configurations are not comparable, but does not fail.
 
+An artifact with no checked-in baseline is reported as "new bench, no
+baseline" and skipped with exit 0 — baselines are only ever written under
+an explicit --update, never as a side effect of a comparison run.
+
 Usage:
   python3 bench/compare_bench.py [--baseline-dir bench/baselines]
       [--tolerance 0.15] [--strict-checksums] [--update] BENCH_foo.json ...
@@ -46,13 +50,21 @@ def compare_one(current_path: str, baseline_dir: str, tolerance: float,
     name = current.get("bench", os.path.basename(current_path))
     baseline_path = os.path.join(baseline_dir, os.path.basename(current_path))
 
-    if update or not os.path.exists(baseline_path):
+    if update:
         action = "updated" if os.path.exists(baseline_path) else "created"
         os.makedirs(baseline_dir, exist_ok=True)
         with open(baseline_path, "w", encoding="utf-8") as f:
             json.dump(current, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"[{name}] baseline {action}: {baseline_path}")
+        return 0
+
+    if not os.path.exists(baseline_path):
+        # A bench with no checked-in baseline is new, not regressed: a CI
+        # run on a branch that adds a bench must not invent a machine-local
+        # baseline (or fail). Record one explicitly with --update.
+        print(f"[{name}] warn: new bench, no baseline at {baseline_path} — "
+              f"skipping (run with --update to record one)")
         return 0
 
     baseline = load(baseline_path)

@@ -6,11 +6,17 @@
 // the rest warm, bit-identical. The front is then read as a menu: what each
 // extra latency budget buys in reliability over the best single interval.
 //
-//   $ ./grid_broker [processors] [stages] [tenants] [seed]
+//   $ ./grid_broker [processors] [stages] [tenants] [seed] [--snapshot PATH]
+//
+// With --snapshot, the broker warm-starts from PATH when it exists and saves
+// its cache back on exit — run twice and the second run serves every tenant
+// warm, bit-identical. The full metrics JSON is printed at exit either way.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "relap/service/broker.hpp"
@@ -21,11 +27,20 @@
 
 int main(int argc, char** argv) {
   using namespace relap;
+  std::string snapshot_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t processors =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
-  const std::size_t stages = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
-  const std::size_t tenants = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 6;
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      positional.size() > 0 ? std::strtoull(positional[0], nullptr, 10) : 24;
+  const std::size_t stages = positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 8;
+  const std::size_t tenants = positional.size() > 2 ? std::strtoull(positional[2], nullptr, 10) : 6;
+  const std::uint64_t seed = positional.size() > 3 ? std::strtoull(positional[3], nullptr, 10) : 1;
 
   const pipeline::Pipeline pipe = gen::bimodal_pipeline(stages, seed);
   gen::PlatformGenOptions options;
@@ -61,6 +76,16 @@ int main(int argc, char** argv) {
   }
 
   service::Broker broker;
+  if (!snapshot_path.empty()) {
+    const auto loaded = broker.load_snapshot(snapshot_path);
+    if (loaded.has_value()) {
+      std::printf("warm start: %zu cached fronts from %s\n\n", loaded->entries,
+                  snapshot_path.c_str());
+    } else if (loaded.error().code != "io") {
+      std::printf("snapshot rejected: %s\n", loaded.error().to_string().c_str());
+      return 1;
+    }
+  }
   const auto replies = broker.solve_batch(batch);
 
   std::printf("%-7s %-6s %-10s %-7s %-20s\n", "tenant", "cache", "solve ms", "points",
@@ -104,5 +129,16 @@ int main(int argc, char** argv) {
     std::printf("  %.3f: %.6f vs %.6f%s\n", p.latency, p.failure_probability, single_best,
                 p.failure_probability < single_best * (1 - 1e-9) ? "   <- split wins" : "");
   }
+
+  if (!snapshot_path.empty()) {
+    const auto saved = broker.save_snapshot(snapshot_path);
+    if (!saved.has_value()) {
+      std::printf("snapshot save failed: %s\n", saved.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nsnapshot: %zu entries (%zu bytes) -> %s\n", saved->entries, saved->bytes,
+                snapshot_path.c_str());
+  }
+  std::printf("\nmetrics: %s\n", broker.metrics_json().c_str());
   return 0;
 }

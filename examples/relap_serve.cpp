@@ -1,0 +1,131 @@
+// The relap serving front: a long-lived broker process speaking the
+// newline-delimited line protocol of service/server.hpp over stdin/stdout
+// (default) or a loopback TCP socket.
+//
+//   $ ./relap_serve [--stdio] [--port N] [--snapshot PATH]
+//                   [--cache-entries N] [--max-stages N] [--max-processors N]
+//
+//   --stdio            serve one session over stdin/stdout (default)
+//   --port N           serve loopback TCP on port N instead (0 = ephemeral;
+//                      the chosen port is printed to stderr)
+//   --snapshot PATH    warm-start the memo cache from PATH if it exists, and
+//                      save the cache back to PATH on clean exit
+//   --cache-entries N  memo-cache capacity (entries)
+//   --max-stages N     admission cap on pipeline stages
+//   --max-processors N admission cap on platform processors
+//
+// On exit the full metrics JSON is printed to stderr, so scripted sessions
+// (CI drives one end-to-end) can assert on the counters without mixing
+// diagnostics into the protocol stream on stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "relap/service/broker.hpp"
+#include "relap/service/server.hpp"
+#include "relap/util/strings.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--stdio] [--port N] [--snapshot PATH] [--cache-entries N]\n"
+               "          [--max-stages N] [--max-processors N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace relap;
+
+  bool use_tcp = false;
+  std::size_t port = 0;
+  std::string snapshot_path;
+  service::BrokerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next_size = [&]() -> std::optional<std::size_t> {
+      if (i + 1 >= argc) return std::nullopt;
+      return util::parse_size(argv[++i]);
+    };
+    if (arg == "--stdio") {
+      use_tcp = false;
+    } else if (arg == "--port") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value > 65535) return usage(argv[0]);
+      use_tcp = true;
+      port = *value;
+    } else if (arg == "--snapshot") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      snapshot_path = argv[++i];
+    } else if (arg == "--cache-entries") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value == 0) return usage(argv[0]);
+      options.cache.capacity = *value;
+    } else if (arg == "--max-stages") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value == 0) return usage(argv[0]);
+      options.max_stages = *value;
+    } else if (arg == "--max-processors") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value == 0) return usage(argv[0]);
+      options.max_processors = *value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  service::Broker broker(options);
+
+  if (!snapshot_path.empty()) {
+    const auto loaded = broker.load_snapshot(snapshot_path);
+    if (loaded.has_value()) {
+      std::fprintf(stderr, "relap_serve: warm start: %zu entries from %s\n", loaded->entries,
+                   snapshot_path.c_str());
+    } else if (loaded.error().code == "io") {
+      std::fprintf(stderr, "relap_serve: cold start (no snapshot at %s)\n",
+                   snapshot_path.c_str());
+    } else {
+      // A present-but-unusable snapshot is a real problem: refusing to run
+      // beats silently serving cold and overwriting it on exit.
+      std::fprintf(stderr, "relap_serve: snapshot rejected: %s\n",
+                   loaded.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  if (use_tcp) {
+    auto server = service::TcpServer::bind_localhost(static_cast<std::uint16_t>(port));
+    if (!server.has_value()) {
+      std::fprintf(stderr, "relap_serve: %s\n", server.error().to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "relap_serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server->port()));
+    const std::size_t sessions = server.value().serve(broker);
+    std::fprintf(stderr, "relap_serve: served %zu session(s)\n", sessions);
+  } else {
+    (void)service::serve_stream(broker, std::cin, std::cout);
+  }
+
+  if (!snapshot_path.empty()) {
+    const auto saved = broker.save_snapshot(snapshot_path);
+    if (saved.has_value()) {
+      std::fprintf(stderr, "relap_serve: saved %zu entries (%zu bytes) to %s\n", saved->entries,
+                   saved->bytes, snapshot_path.c_str());
+    } else {
+      std::fprintf(stderr, "relap_serve: snapshot save failed: %s\n",
+                   saved.error().to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "%s\n", broker.metrics_json().c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "relap/util/bytes.hpp"
 #include "relap/util/strings.hpp"
 
 namespace relap::io {
@@ -249,37 +250,24 @@ std::string format_instance(const Instance& instance) {
   return text;
 }
 
-namespace {
-
-void append_u64_le(std::uint64_t v, std::string& out) {
-  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFFU);
-}
-
-void append_double_bits(double v, std::string& out) {
-  append_u64_le(std::bit_cast<std::uint64_t>(v), out);
-}
-
-void append_column(std::span<const double> values, std::string& out) {
-  for (const double v : values) append_double_bits(v, out);
-}
-
-}  // namespace
-
 void append_instance_key_bytes(const pipeline::Pipeline& pipeline,
                                const platform::Platform& platform, std::string& out) {
+  // Explicitly little-endian via util/bytes so the key bytes — and every
+  // canonical hash and snapshot derived from them — are portable across
+  // hosts. Layout is known-answer pinned in tests/test_util_bytes.cpp.
   const std::size_t m = platform.processor_count();
   out.reserve(out.size() + 8 * (2 + pipeline.stage_count() * 2 + 1 + m * (4 + m)));
-  append_u64_le(pipeline.stage_count(), out);
-  append_u64_le(m, out);
-  append_column(pipeline.work_vector(), out);
-  append_column(pipeline.data_vector(), out);
-  append_column(platform.speeds(), out);
-  append_column(platform.failure_probs(), out);
-  append_column(platform.in_bandwidths(), out);
-  append_column(platform.out_bandwidths(), out);
+  util::bytes::append_u64_le(out, pipeline.stage_count());
+  util::bytes::append_u64_le(out, m);
+  util::bytes::append_doubles_le(out, pipeline.work_vector());
+  util::bytes::append_doubles_le(out, pipeline.data_vector());
+  util::bytes::append_doubles_le(out, platform.speeds());
+  util::bytes::append_doubles_le(out, platform.failure_probs());
+  util::bytes::append_doubles_le(out, platform.in_bandwidths());
+  util::bytes::append_doubles_le(out, platform.out_bandwidths());
   for (std::size_t u = 0; u < m; ++u) {
     for (std::size_t v = 0; v < m; ++v) {
-      if (u != v) append_double_bits(platform.bandwidth(u, v), out);
+      if (u != v) util::bytes::append_double_le(out, platform.bandwidth(u, v));
     }
   }
 }

@@ -1,28 +1,20 @@
 #include "relap/service/broker.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
-#include <cstring>
+#include <cstdio>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "relap/util/bytes.hpp"
 #include "relap/util/hash.hpp"
 
 namespace relap::service {
 
 namespace {
-
-void append_u64_le(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void append_double_bits(std::string& out, double v) {
-  append_u64_le(out, std::bit_cast<std::uint64_t>(v));
-}
 
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -33,6 +25,7 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
 Broker::Broker(BrokerOptions options) : options_(options), cache_(options.cache) {}
 
 util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) const {
+  const auto start = std::chrono::steady_clock::now();
   if (request.instance.stages.size() > options_.max_stages) {
     return util::make_error("oversized",
                             "request has " + std::to_string(request.instance.stages.size()) +
@@ -67,7 +60,7 @@ util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) cons
   util::Expected<CanonicalInstance> canonical = canonicalize(request.instance);
   if (!canonical.has_value()) return canonical.error();
 
-  Admitted admitted{std::move(canonical).take(), std::string(), 0, 0.0};
+  Admitted admitted{std::move(canonical).take(), std::string(), 0, 0.0, 0.0};
   // Thresholds live in caller time units; the canonical form's latency axis
   // is scaled by time_scale (an exact power of two), so the cap converts
   // exactly too. FP caps are dimensionless.
@@ -89,12 +82,14 @@ util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) cons
   admitted.full_key = admitted.canonical.key_bytes;
   admitted.full_key.push_back(static_cast<char>(request.objective));
   admitted.full_key.push_back(static_cast<char>(request.method));
-  append_double_bits(admitted.full_key, admitted.threshold_canonical);
-  append_u64_le(admitted.full_key, request.max_evaluations);
-  append_u64_le(admitted.full_key, request.objective == Objective::ParetoFront
-                                       ? static_cast<std::uint64_t>(request.pareto_thresholds)
-                                       : 0);
+  util::bytes::append_double_le(admitted.full_key, admitted.threshold_canonical);
+  util::bytes::append_u64_le(admitted.full_key, request.max_evaluations);
+  util::bytes::append_u64_le(admitted.full_key,
+                             request.objective == Objective::ParetoFront
+                                 ? static_cast<std::uint64_t>(request.pareto_thresholds)
+                                 : 0);
   admitted.full_hash = util::fnv1a(admitted.full_key);
+  admitted.canonicalize_seconds = elapsed_seconds(start);
   return admitted;
 }
 
@@ -133,14 +128,21 @@ util::Expected<algorithms::FrontReport> Broker::solve_canonical(const SolveReque
 }
 
 Reply Broker::make_reply(const Admitted& admitted, const algorithms::FrontReport& report,
-                         bool cache_hit, double solve_seconds) const {
+                         bool cache_hit, TraceSpans spans) const {
+  const auto start = std::chrono::steady_clock::now();
   Reply reply;
   reply.front = denormalize_front(admitted.canonical, report.front);
   reply.algorithm = report.algorithm;
   reply.exact = report.exact;
   reply.cache_hit = cache_hit;
-  reply.solve_seconds = solve_seconds;
   reply.canonical_hash = admitted.canonical.key_hash;
+  spans.denormalize_seconds = elapsed_seconds(start);
+  reply.solve_seconds = spans.solve_seconds;
+  reply.spans = spans;
+  metrics_.denormalize.record(spans.denormalize_seconds);
+  metrics_.request.record(spans.queue_wait_seconds + spans.canonicalize_seconds +
+                          spans.cache_probe_seconds + spans.solve_seconds +
+                          spans.denormalize_seconds);
   return reply;
 }
 
@@ -150,9 +152,19 @@ util::Expected<Reply> Broker::solve(const SolveRequest& request) {
 }
 
 std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequest> requests) {
+  return solve_batch_timed(requests, {});
+}
+
+std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
+    std::span<const SolveRequest> requests, std::span<const double> queue_waits) {
   const std::size_t count = requests.size();
+  metrics_.batches_total.add(1);
+  metrics_.requests_total.add(count);
   std::vector<std::optional<util::Expected<Reply>>> staged(count);
   std::vector<std::optional<Admitted>> admitted(count);
+  const auto queue_wait_of = [&](std::size_t i) {
+    return queue_waits.empty() ? 0.0 : queue_waits[i];
+  };
 
   // Group requests with equal full keys (first-seen order): one solve per
   // group, everyone else rides the cache.
@@ -168,9 +180,12 @@ std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequ
   for (std::size_t i = 0; i < count; ++i) {
     util::Expected<Admitted> result = admit(requests[i]);
     if (!result.has_value()) {
+      metrics_.rejected_total.add(1);
       staged[i] = result.error();
       continue;
     }
+    metrics_.canonicalize.record(result->canonicalize_seconds);
+    if (!queue_waits.empty()) metrics_.queue_wait.record(queue_waits[i]);
     admitted[i] = std::move(result).take();
     const std::string_view key = admitted[i]->full_key;
     auto [it, inserted] = group_of.try_emplace(key, groups.size());
@@ -199,30 +214,47 @@ std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequ
     const std::size_t lead_index = group.members.front();
     const Admitted& lead = *admitted[lead_index];
 
+    TraceSpans lead_spans;
+    lead_spans.queue_wait_seconds = queue_wait_of(lead_index);
+    lead_spans.canonicalize_seconds = lead.canonicalize_seconds;
+
+    const auto probe_start = std::chrono::steady_clock::now();
     std::shared_ptr<const algorithms::FrontReport> report = cache_.find(group.hash, lead.full_key);
+    lead_spans.cache_probe_seconds = elapsed_seconds(probe_start);
+    metrics_.cache_probe.record(lead_spans.cache_probe_seconds);
     const bool lead_hit = report != nullptr;
-    double solve_seconds = 0.0;
     if (!report) {
+      metrics_.solves_total.add(1);
       const auto start = std::chrono::steady_clock::now();
       util::Expected<algorithms::FrontReport> solved = solve_canonical(requests[lead_index], lead);
-      solve_seconds = elapsed_seconds(start);
+      lead_spans.solve_seconds = elapsed_seconds(start);
+      metrics_.solve.record(lead_spans.solve_seconds);
       if (!solved.has_value()) {
         // Errors are not cached: every member gets its own copy.
+        metrics_.solve_errors_total.add(1);
         for (const std::size_t member : group.members) staged[member] = solved.error();
         return;
       }
       report = std::make_shared<const algorithms::FrontReport>(std::move(solved).take());
       cache_.insert(group.hash, lead.full_key, report);
     }
-    staged[lead_index] = make_reply(lead, *report, lead_hit, solve_seconds);
+    staged[lead_index] = make_reply(lead, *report, lead_hit, lead_spans);
 
     // Deduped members re-probe so the hit counters reflect them; the local
     // report backstops the (theoretical) eviction race within one batch.
     for (std::size_t k = 1; k < group.members.size(); ++k) {
       const std::size_t member = group.members[k];
+      metrics_.deduped_total.add(1);
+      TraceSpans member_spans;
+      member_spans.queue_wait_seconds = queue_wait_of(member);
+      member_spans.canonicalize_seconds = admitted[member]->canonicalize_seconds;
+      const auto member_probe_start = std::chrono::steady_clock::now();
       std::shared_ptr<const algorithms::FrontReport> cached =
           cache_.find(group.hash, admitted[member]->full_key);
-      staged[member] = make_reply(*admitted[member], cached ? *cached : *report, true, 0.0);
+      member_spans.cache_probe_seconds = elapsed_seconds(member_probe_start);
+      metrics_.cache_probe.record(member_spans.cache_probe_seconds);
+      staged[member] =
+          make_reply(*admitted[member], cached ? *cached : *report, true, member_spans);
     }
   });
 
@@ -235,7 +267,7 @@ std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequ
 std::uint64_t Broker::submit(SolveRequest request) {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   const std::uint64_t id = next_ticket_++;
-  queue_.emplace_back(id, std::move(request));
+  queue_.push_back(Ticket{id, std::move(request), std::chrono::steady_clock::now()});
   return id;
 }
 
@@ -245,21 +277,61 @@ std::size_t Broker::pending() const {
 }
 
 std::vector<Broker::Drained> Broker::drain() {
-  std::vector<std::pair<std::uint64_t, SolveRequest>> batch;
+  std::vector<Ticket> batch;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     batch.swap(queue_);
   }
+  const auto drained_at = std::chrono::steady_clock::now();
   std::vector<SolveRequest> requests;
+  std::vector<double> queue_waits;
   requests.reserve(batch.size());
-  for (auto& [id, request] : batch) requests.push_back(std::move(request));
-  std::vector<util::Expected<Reply>> replies = solve_batch(requests);
+  queue_waits.reserve(batch.size());
+  for (Ticket& ticket : batch) {
+    requests.push_back(std::move(ticket.request));
+    queue_waits.push_back(
+        std::chrono::duration<double>(drained_at - ticket.submitted).count());
+  }
+  std::vector<util::Expected<Reply>> replies = solve_batch_timed(requests, queue_waits);
   std::vector<Drained> drained;
   drained.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    drained.push_back(Drained{batch[i].first, std::move(replies[i])});
+    drained.push_back(Drained{batch[i].id, std::move(replies[i])});
   }
   return drained;
+}
+
+std::string Broker::metrics_json() const {
+  const CacheStats stats = cache_.stats();
+  char cache_json[256];
+  std::snprintf(cache_json, sizeof cache_json,
+                "{\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,\"entries\":%zu,"
+                "\"hit_rate\":%.17g},",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions), stats.entries,
+                stats.hit_rate());
+  // metrics_.to_json() is a non-empty object; splice the cache section in
+  // front of its first field.
+  return cache_json + metrics_.to_json().substr(1);
+}
+
+util::Expected<SnapshotStats> Broker::save_snapshot(const std::string& path) const {
+  util::Expected<SnapshotStats> saved = service::save_snapshot(cache_, path);
+  if (saved.has_value()) {
+    metrics_.snapshot_saves.add(1);
+    metrics_.snapshot_entries_saved.add(saved->entries);
+  }
+  return saved;
+}
+
+util::Expected<SnapshotStats> Broker::load_snapshot(const std::string& path) {
+  util::Expected<SnapshotStats> loaded = service::load_snapshot(cache_, path);
+  if (loaded.has_value()) {
+    metrics_.snapshot_loads.add(1);
+    metrics_.snapshot_entries_loaded.add(loaded->entries);
+  }
+  return loaded;
 }
 
 }  // namespace relap::service

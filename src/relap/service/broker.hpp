@@ -28,6 +28,13 @@
 ///      budget is part of the key, but infeasibility is kept symmetric).
 ///   5. **Denormalization** back to the caller's labeling and units.
 ///
+/// Every lifecycle step is measured twice: per request into `Reply::spans`
+/// (request.hpp trace spans) and in aggregate into the broker's
+/// `ServiceMetrics` registry (metrics.hpp, exported by `metrics_json`).
+/// `save_snapshot`/`load_snapshot` persist the memo cache across process
+/// runs (snapshot.hpp), so a restarted broker serves warm-from-snapshot
+/// replies bit-identical to same-process warm replies.
+///
 /// Batches (`solve_batch`, or `submit` + `drain`) additionally dedupe: member
 /// requests with equal full keys form one group, groups are ordered by
 /// (priority desc, deadline asc, arrival), and only each group's lead solves;
@@ -35,6 +42,7 @@
 /// rides the same deterministic exec pool the solvers use — nested `run()` is
 /// explicitly safe there.
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -43,7 +51,9 @@
 #include "relap/exec/thread_pool.hpp"
 #include "relap/service/cache.hpp"
 #include "relap/service/canonical.hpp"
+#include "relap/service/metrics.hpp"
 #include "relap/service/request.hpp"
+#include "relap/service/snapshot.hpp"
 
 namespace relap::service {
 
@@ -90,6 +100,26 @@ class Broker {
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// Aggregate observability: every counter/histogram the broker records
+  /// (metrics.hpp). Live — reading does not reset anything.
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// One-line JSON document combining `metrics()` with the cache counters:
+  /// {"cache":{hits,misses,evictions,entries,hit_rate},...service fields...}.
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// Persists the memo cache to `path` (snapshot.hpp; crash-safe
+  /// temp-then-rename, version- and build-stamped).
+  [[nodiscard]] util::Expected<SnapshotStats> save_snapshot(const std::string& path) const;
+
+  /// Warm-starts the memo cache from a snapshot. Version-mismatched or
+  /// corrupted snapshots are rejected with structured errors and leave the
+  /// cache untouched. Replies served from restored entries are bit-identical
+  /// to same-process warm replies: the snapshot round-trips the solved
+  /// fronts' exact bit patterns and the broker denormalizes per request
+  /// either way.
+  [[nodiscard]] util::Expected<SnapshotStats> load_snapshot(const std::string& path);
+
  private:
   /// A request that passed admission + canonicalization, ready to dispatch.
   struct Admitted {
@@ -97,19 +127,32 @@ class Broker {
     std::string full_key;        ///< canonical bytes + objective/knob suffix
     std::uint64_t full_hash = 0;
     double threshold_canonical = 0.0;
+    double canonicalize_seconds = 0.0;
   };
 
   [[nodiscard]] util::Expected<Admitted> admit(const SolveRequest& request) const;
   [[nodiscard]] util::Expected<algorithms::FrontReport> solve_canonical(
       const SolveRequest& request, const Admitted& admitted) const;
   [[nodiscard]] Reply make_reply(const Admitted& admitted, const algorithms::FrontReport& report,
-                                 bool cache_hit, double solve_seconds) const;
+                                 bool cache_hit, TraceSpans spans) const;
+  /// Shared batch path; `queue_waits` (empty, or one value per request)
+  /// carries the submit -> drain delay of queued requests into spans and
+  /// metrics.
+  [[nodiscard]] std::vector<util::Expected<Reply>> solve_batch_timed(
+      std::span<const SolveRequest> requests, std::span<const double> queue_waits);
 
   BrokerOptions options_;
   FrontCache cache_;
+  mutable ServiceMetrics metrics_;
+
+  struct Ticket {
+    std::uint64_t id = 0;
+    SolveRequest request;
+    std::chrono::steady_clock::time_point submitted;
+  };
 
   mutable std::mutex queue_mutex_;
-  std::vector<std::pair<std::uint64_t, SolveRequest>> queue_;
+  std::vector<Ticket> queue_;
   std::uint64_t next_ticket_ = 1;
 };
 

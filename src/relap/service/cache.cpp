@@ -74,6 +74,17 @@ CacheStats FrontCache::stats() const {
   return stats;
 }
 
+std::vector<FrontCache::ExportedEntry> FrontCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      out.push_back(ExportedEntry{it->hash, it->key, it->value});
+    }
+  }
+  return out;
+}
+
 void FrontCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);

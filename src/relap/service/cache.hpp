@@ -72,6 +72,22 @@ class FrontCache {
   /// contents).
   void clear();
 
+  /// A copied-out cache entry, the unit the snapshot codec
+  /// (service/snapshot.hpp) serializes. Copies are shallow: `value` shares
+  /// ownership of the cached front.
+  struct ExportedEntry {
+    std::uint64_t hash = 0;
+    std::string key;
+    std::shared_ptr<const algorithms::FrontReport> value;
+  };
+
+  /// Every live entry, in a deterministic order for a given cache state:
+  /// shards in index order, within a shard least- to most-recently-used —
+  /// so `insert`ing the result back in order reproduces contents *and*
+  /// per-shard recency, which is what makes snapshot round-trips exact
+  /// even under later eviction pressure.
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const;
+
  private:
   struct Entry {
     std::uint64_t hash = 0;

@@ -1,5 +1,7 @@
 #include "relap/service/request.hpp"
 
+#include <cstdio>
+
 #include "relap/util/assert.hpp"
 #include "relap/util/hash.hpp"
 
@@ -68,6 +70,19 @@ InstanceData InstanceData::scaled(double work_factor, double data_factor,
     for (double& b : proc.links) b *= transfer_factor;
   }
   return out;
+}
+
+std::string TraceSpans::to_json() const {
+  const auto field = [](const char* name, double seconds) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "\"%s\":%.17g", name, seconds);
+    return std::string(buffer);
+  };
+  return '{' + field("queue_wait_s", queue_wait_seconds) + ',' +
+         field("canonicalize_s", canonicalize_seconds) + ',' +
+         field("cache_probe_s", cache_probe_seconds) + ',' +
+         field("solve_s", solve_seconds) + ',' +
+         field("denormalize_s", denormalize_seconds) + '}';
 }
 
 std::string to_string(Objective objective) {

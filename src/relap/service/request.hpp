@@ -118,6 +118,21 @@ struct SolveRequest {
   std::size_t pareto_thresholds = 24;
 };
 
+/// Wall-clock breakdown of one request's trip through the broker — the
+/// per-request twin of the aggregate histograms in metrics.hpp. All values
+/// are seconds; spans that did not occur (queue wait on a direct `solve`,
+/// solve on a cache hit) are 0.
+struct TraceSpans {
+  double queue_wait_seconds = 0.0;    ///< submit() -> batch dispatch
+  double canonicalize_seconds = 0.0;  ///< admission + canonicalization
+  double cache_probe_seconds = 0.0;   ///< memo-cache lookup
+  double solve_seconds = 0.0;         ///< solver dispatch (0 on hits)
+  double denormalize_seconds = 0.0;   ///< reply construction
+
+  /// One-line JSON object, e.g. {"queue_wait_s":0,"canonicalize_s":1e-06,...}.
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// A successful reply. Error replies (malformed / oversized / infeasible /
 /// budget) travel as `util::Expected` errors instead.
 struct Reply {
@@ -134,6 +149,10 @@ struct Reply {
   /// FNV-1a hash of the canonical instance form — equal across relabelings
   /// and power-of-two rescalings of the same instance.
   std::uint64_t canonical_hash = 0;
+  /// Wall-clock trace of this request's lifecycle spans (solve_seconds
+  /// above equals spans.solve_seconds; it predates the trace and stays for
+  /// compatibility).
+  TraceSpans spans;
 
   /// The single solution of a single-objective reply.
   [[nodiscard]] const algorithms::ParetoSolution& best() const { return front.front(); }

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file server.hpp
+/// The line-protocol serving front: a newline-delimited request/response
+/// text protocol over the broker, so shell scripts and non-C++ tenants can
+/// submit instances, solve with knobs, read metrics and manage snapshots
+/// without linking the library. `examples/relap_serve.cpp` is the binary.
+///
+/// Protocol (one command per line; '#' starts a comment line, blank lines
+/// are ignored; every response line is either `ok ...`, `err <code>
+/// <message>`, or a continuation line of a multi-line response):
+///
+///     instance <name>           begin an instance block; inside it:
+///       input <delta0>            external input data size
+///       stage <pos> <work> <out>  one stage record (semantic position)
+///       proc <speed> <fp> <in> <out> [b0 .. bM-1]
+///                                 one processor record; trailing values are
+///                                 its link-bandwidth row (diagonal ignored)
+///       links <b>                 uniform link bandwidth for every proc
+///                                 without an explicit row
+///     end                       -> ok instance <name> stages=N processors=M
+///     solve <name> [obj=pareto|minfp|minlat] [threshold=X] [method=auto|
+///           exact|heuristic|exhaustive] [budget=N] [sweep=K]
+///                               -> ok solve name=... cache=hit|miss
+///                                  exact=0|1 algorithm=... points=K
+///                                  front=0x... canonical=0x... solve_ms=...
+///                                  trace <spans json>
+///                                  point <i> latency=... fp=... mapping=...
+///                                  done
+///     stats                     -> ok stats <metrics json>
+///     snapshot save <path>      -> ok snapshot save entries=N bytes=N
+///     snapshot load <path>      -> ok snapshot load entries=N bytes=N
+///     drop <name>               -> ok drop <name>
+///     ping                      -> ok pong
+///     quit                      -> ok bye        (ends this session)
+///     shutdown                  -> ok shutdown   (ends the whole server)
+///
+/// Hardening: wire input is parsed into raw `InstanceData` records and fed
+/// through the broker's structured-`Expected` admission path — the library
+/// types that treat malformed values as programming errors are never
+/// constructed from unvalidated bytes, so no wire input can trip an assert.
+/// Numeric fields use the strict whole-token parsers from util/strings;
+/// anything unparseable answers `err protocol ...` and leaves the session
+/// usable. Error messages are flattened to one line so a response can never
+/// be mistaken for multiple protocol lines.
+///
+/// Transports: `serve_stream` runs a session over any istream/ostream pair
+/// (relap_serve wires stdin/stdout); `TcpServer` accepts loopback-only TCP
+/// connections and serves them sequentially with one fresh session each —
+/// deliberately not concurrent, so wire-visible response order is
+/// deterministic (the broker underneath is what parallelizes a batch).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "relap/service/broker.hpp"
+
+namespace relap::service {
+
+struct SessionOptions {
+  /// Wire-level caps, enforced before any record is buffered, so a
+  /// malicious peer cannot balloon memory regardless of broker caps.
+  std::size_t max_stage_records = 4096;
+  std::size_t max_processor_records = 4096;
+  std::size_t max_instances = 1024;
+};
+
+/// One protocol session: feeds lines in, accumulates response lines.
+/// Stateful: named instances registered by `instance ... end` blocks live
+/// for the session, and an in-progress block spans multiple lines.
+class Session {
+ public:
+  using Options = SessionOptions;
+
+  explicit Session(Broker& broker, Options options = {});
+
+  /// Handles one input line, appending zero or more '\n'-terminated
+  /// response lines to `out`. Returns false when the session is over
+  /// (`quit`/`shutdown`); the session must not be fed further lines.
+  [[nodiscard]] bool handle_line(std::string_view line, std::string& out);
+
+  /// True once a `shutdown` command was handled: the transport should stop
+  /// accepting new sessions, not just close this one.
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+
+ private:
+  void handle_command(std::string_view line, std::string& out);
+  void handle_block_line(std::string_view line, std::string& out);
+  void handle_solve(std::string_view args, std::string& out);
+  void handle_snapshot(std::string_view args, std::string& out);
+
+  Broker& broker_;
+  Options options_;
+  std::unordered_map<std::string, InstanceData> instances_;
+
+  // In-progress `instance` block.
+  bool in_block_ = false;
+  std::string block_name_;
+  InstanceData block_instance_;
+  bool block_has_uniform_links_ = false;
+  double block_uniform_links_ = 0.0;
+
+  bool closed_ = false;    ///< session over (`quit` or `shutdown`)
+  bool shutdown_ = false;  ///< whole-server stop requested
+};
+
+/// Serves one session over a stream pair, reading lines from `in` until it
+/// is exhausted or the session ends; responses are written (and flushed)
+/// after every line. Returns true iff the session requested shutdown.
+bool serve_stream(Broker& broker, std::istream& in, std::ostream& out,
+                  Session::Options options = {});
+
+/// A loopback-only TCP front. Connections are accepted and served one at a
+/// time, each with a fresh `Session`, until some session issues `shutdown`.
+class TcpServer {
+ public:
+  TcpServer() = default;
+  TcpServer(TcpServer&& other) noexcept;
+  TcpServer& operator=(TcpServer&& other) noexcept;
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+  ~TcpServer();
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable via
+  /// `port()` afterwards). Error code "io" on socket failures.
+  [[nodiscard]] static util::Expected<TcpServer> bind_localhost(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool bound() const { return fd_ >= 0; }
+
+  /// Accept loop: serves sessions until one requests shutdown (or the
+  /// socket errors out). Returns the number of sessions served.
+  std::size_t serve(Broker& broker, Session::Options options = {});
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace relap::service

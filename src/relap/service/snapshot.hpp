@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Persistence for the solved-front memo cache: a version-stamped binary
+/// snapshot of (full cache key bytes -> solved FrontReport), so a restarted
+/// broker starts warm instead of cold.
+///
+/// Format (all integers little-endian via util/bytes, doubles as IEEE-754
+/// bit patterns — bit-exact round-trip by construction):
+///
+///     magic    8 bytes  "relapsnp"
+///     u32      format version (kSnapshotFormatVersion)
+///     u64      build stamp hash — FNV-1a of `snapshot_build_stamp()`
+///     u32      section count
+///     then per section:
+///       u32    section id (1 = meta, 2 = entries)
+///       u64    payload size in bytes
+///       u64    payload FNV-1a checksum
+///       ...    payload bytes
+///
+/// The meta payload holds the entry count; the entries payload holds one
+/// record per cache entry: the full key (u64 hash + length-prefixed bytes —
+/// the canonical instance bytes plus the solve-knob suffix the broker
+/// appends, see broker.hpp) followed by the solved front (per point: the
+/// latency/FP bit patterns and the interval/replica-group structure of the
+/// mapping), the producing algorithm, its exactness flag and the evaluation
+/// count. Keys are opaque bytes to this codec: whatever knobs the broker
+/// keys on ride along unchanged.
+///
+/// Rejection rules — every failure is a structured `util::Expected` error,
+/// never an assert, because a snapshot file is runtime input:
+///   * "io": unreadable/unwritable file;
+///   * "snapshot-version": wrong magic, format version, or build stamp.
+///     The build stamp names the solver result-stream generation — loading
+///     a snapshot produced by an incompatible solver build would serve
+///     fronts that a fresh solve of the same build would not produce,
+///     silently breaking the warm == cold bit-identity contract, so it is
+///     rejected outright;
+///   * "snapshot-corrupt": truncation anywhere, a section checksum
+///     mismatch, an entry whose stored hash does not match its key bytes,
+///     or a front whose mapping structure is invalid (the decoder
+///     re-validates every structural invariant `mapping::IntervalMapping`
+///     asserts, *before* constructing one).
+///
+/// Saves are crash-safe: the snapshot is written to `<path>.tmp` and
+/// renamed over `path` only after a successful flush, so a crash mid-save
+/// leaves the previous snapshot intact.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relap/service/cache.hpp"
+#include "relap/util/expected.hpp"
+
+namespace relap::service {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Names the generation of solver result streams this build produces. Bump
+/// whenever any cached solver's output for a given canonical instance can
+/// change (algorithm changes, comparator changes, RNG scheme migrations in
+/// the heuristics...). Snapshots carry its FNV-1a hash and load only into
+/// builds with the same stamp.
+[[nodiscard]] std::string_view snapshot_build_stamp();
+
+/// FNV-1a of `snapshot_build_stamp()` — the value embedded in snapshots.
+[[nodiscard]] std::uint64_t snapshot_build_stamp_hash();
+
+struct SnapshotStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< encoded snapshot size
+};
+
+/// Serializes `entries` into the format above.
+[[nodiscard]] std::string encode_snapshot(std::span<const FrontCache::ExportedEntry> entries);
+
+/// Parses and fully validates a snapshot byte string (see rejection rules
+/// above). The returned entries preserve encoding order.
+[[nodiscard]] util::Expected<std::vector<FrontCache::ExportedEntry>> decode_snapshot(
+    std::string_view bytes);
+
+/// Exports `cache` and writes the snapshot to `path` (crash-safe
+/// temp-then-rename). Error code "io" on filesystem failure.
+[[nodiscard]] util::Expected<SnapshotStats> save_snapshot(const FrontCache& cache,
+                                                          const std::string& path);
+
+/// Reads, validates and inserts a snapshot into `cache` (existing entries
+/// with equal keys keep their cached value — both are bit-identical by
+/// contract). The cache is untouched on any error.
+[[nodiscard]] util::Expected<SnapshotStats> load_snapshot(FrontCache& cache,
+                                                          const std::string& path);
+
+}  // namespace relap::service

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "relap/algorithms/annealing.hpp"
@@ -339,6 +341,54 @@ TEST(Determinism, BrokerWarmRepliesEqualColdAcrossThreadCounts) {
       expect_same_front(cold->front, reference, threads);
     }
   }
+}
+
+TEST(Determinism, BrokerWarmFromSnapshotEqualsColdAcrossThreadCounts) {
+  // The persistence extension of the contract above: a broker restarted from
+  // a snapshot serves replies bit-identical to the cold solve that produced
+  // the snapshot — at every thread count, and regardless of which thread
+  // count wrote the snapshot (entries store solved canonical fronts, which
+  // are thread-count-invariant by the exec contract).
+  const auto pipe = gen::random_uniform_pipeline(4, 171);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 5;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 172);
+
+  service::SolveRequest request;
+  request.instance = service::InstanceData::from(pipe, plat);
+  request.objective = service::Objective::ParetoFront;
+
+  // One cold solve (single-threaded) writes the snapshot.
+  const std::string path = std::string(::testing::TempDir()) + "relap_determinism_warm.snap";
+  std::vector<algorithms::ParetoSolution> reference;
+  {
+    exec::ThreadPool pool(1);
+    service::BrokerOptions broker_options;
+    broker_options.pool = &pool;
+    service::Broker broker(broker_options);
+    const auto cold = broker.solve(request);
+    ASSERT_TRUE(cold.has_value());
+    reference = cold->front;
+    const auto saved = broker.save_snapshot(path);
+    ASSERT_TRUE(saved.has_value());
+    ASSERT_EQ(saved->entries, 1U);
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    service::BrokerOptions broker_options;
+    broker_options.pool = &pool;
+    service::Broker broker(broker_options);
+    ASSERT_TRUE(broker.load_snapshot(path).has_value()) << "threads=" << threads;
+
+    const auto warm = broker.solve(request);
+    ASSERT_TRUE(warm.has_value()) << "threads=" << threads;
+    EXPECT_TRUE(warm->cache_hit) << "threads=" << threads;
+    expect_same_front(warm->front, reference, threads);
+    EXPECT_EQ(service::front_checksum(warm->front), service::front_checksum(reference))
+        << "threads=" << threads;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Determinism, MultiStartAnnealingAcrossThreadCounts) {

@@ -1,0 +1,332 @@
+// Tests for service/server.hpp: the line protocol round-trips instances and
+// solves through a scripted session, malformed wire input always comes back
+// as a structured `err` line (never an assert — the raw-InstanceData
+// admission path is the only entry point), wire-level caps bound memory, and
+// the loopback TCP transport serves the same protocol end to end.
+
+#include "relap/service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relap/gen/pipelines.hpp"
+#include "relap/gen/platforms.hpp"
+#include "relap/service/broker.hpp"
+#include "relap/util/strings.hpp"
+
+namespace relap::service {
+namespace {
+
+/// Feeds one line, returns the response text; fails the test if the session
+/// closed (callers that expect closure use feed_expect_closed).
+std::string feed(Session& session, const std::string& line) {
+  std::string out;
+  EXPECT_TRUE(session.handle_line(line, out)) << "session closed on: " << line;
+  return out;
+}
+
+std::string feed_expect_closed(Session& session, const std::string& line) {
+  std::string out;
+  EXPECT_FALSE(session.handle_line(line, out));
+  return out;
+}
+
+/// The protocol lines registering a generated instance under `name`.
+std::vector<std::string> upload_lines(const std::string& name, std::uint64_t seed,
+                                      std::size_t stages = 3, std::size_t processors = 3) {
+  const auto pipe = gen::random_uniform_pipeline(stages, seed);
+  gen::PlatformGenOptions options;
+  options.processors = processors;
+  const auto plat = gen::random_fully_heterogeneous(options, seed + 1);
+  const InstanceData instance = InstanceData::from(pipe, plat);
+
+  std::vector<std::string> lines;
+  lines.push_back("instance " + name);
+  lines.push_back("input " + util::format_double(instance.input_data));
+  for (const LabeledStage& stage : instance.stages) {
+    lines.push_back("stage " + std::to_string(stage.position) + ' ' +
+                    util::format_double(stage.work) + ' ' +
+                    util::format_double(stage.output_data));
+  }
+  for (const LabeledProcessor& proc : instance.processors) {
+    std::string line = "proc " + util::format_double(proc.speed) + ' ' +
+                       util::format_double(proc.failure_prob) + ' ' +
+                       util::format_double(proc.in_bandwidth) + ' ' +
+                       util::format_double(proc.out_bandwidth);
+    for (const double b : proc.links) line += ' ' + util::format_double(b);
+    lines.push_back(std::move(line));
+  }
+  lines.push_back("end");
+  return lines;
+}
+
+void upload(Session& session, const std::string& name, std::uint64_t seed) {
+  const std::vector<std::string> lines = upload_lines(name, seed);
+  std::string response;
+  for (const std::string& line : lines) response = feed(session, line);
+  ASSERT_EQ(response.rfind("ok instance " + name, 0), 0U) << response;
+}
+
+// --- Scripted sessions. -----------------------------------------------------
+
+TEST(Server, ScriptedSessionEndToEnd) {
+  Broker broker;
+  Session session(broker);
+
+  EXPECT_EQ(feed(session, "ping"), "ok pong\n");
+  EXPECT_EQ(feed(session, ""), "");            // blank lines are ignored
+  EXPECT_EQ(feed(session, "# comment"), "");   // so are comments
+
+  upload(session, "job", 5);
+
+  const std::string cold = feed(session, "solve job obj=pareto");
+  EXPECT_NE(cold.find("ok solve name=job cache=miss"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("trace {\"queue_wait_s\":"), std::string::npos);
+  EXPECT_NE(cold.find("point 0 latency="), std::string::npos);
+  EXPECT_NE(cold.find("mapping=[0.."), std::string::npos);
+  EXPECT_NE(cold.find("done\n"), std::string::npos);
+
+  // The identical request hits warm with the identical front checksum.
+  const std::string warm = feed(session, "solve job obj=pareto");
+  EXPECT_NE(warm.find("cache=hit"), std::string::npos) << warm;
+  const auto front_of = [](const std::string& response) {
+    const std::size_t pos = response.find("front=");
+    return response.substr(pos, response.find(' ', pos) - pos);
+  };
+  EXPECT_EQ(front_of(cold), front_of(warm));
+
+  const std::string stats = feed(session, "stats");
+  EXPECT_EQ(stats.rfind("ok stats {\"cache\":", 0), 0U) << stats;
+  EXPECT_NE(stats.find("\"requests_total\":2"), std::string::npos) << stats;
+
+  EXPECT_EQ(feed(session, "drop job"), "ok drop job\n");
+  const std::string gone = feed(session, "solve job");
+  EXPECT_EQ(gone.rfind("err protocol", 0), 0U) << gone;
+
+  EXPECT_EQ(feed_expect_closed(session, "quit"), "ok bye\n");
+  EXPECT_FALSE(session.shutdown_requested());
+}
+
+TEST(Server, ObjectiveAndMethodKnobs) {
+  Broker broker;
+  Session session(broker);
+  upload(session, "job", 9);
+
+  const std::string minfp = feed(session, "solve job obj=minfp threshold=1e9");
+  EXPECT_NE(minfp.find("ok solve"), std::string::npos) << minfp;
+  EXPECT_NE(minfp.find("points=1"), std::string::npos) << minfp;
+
+  const std::string heuristic =
+      feed(session, "solve job obj=pareto method=heuristic sweep=8 budget=1000");
+  EXPECT_NE(heuristic.find("ok solve"), std::string::npos) << heuristic;
+
+  // An infeasible threshold is a structured solver error, not a crash.
+  const std::string infeasible = feed(session, "solve job obj=minfp threshold=1e-12");
+  EXPECT_EQ(infeasible.rfind("err infeasible", 0), 0U) << infeasible;
+}
+
+TEST(Server, ShutdownPropagates) {
+  Broker broker;
+  Session session(broker);
+  EXPECT_EQ(feed_expect_closed(session, "shutdown"), "ok shutdown\n");
+  EXPECT_TRUE(session.shutdown_requested());
+}
+
+// --- Hardening: malformed wire input. ---------------------------------------
+
+TEST(Server, MalformedInputAlwaysAnswersErrAndNeverKillsTheSession) {
+  Broker broker;
+  Session session(broker);
+  const std::vector<std::string> garbage = {
+      "frobnicate",
+      "solve",
+      "solve nosuch",
+      "instance",
+      "instance a b c",
+      "end",
+      "input 1",
+      "proc 1 2 3 4",
+      "snapshot",
+      "snapshot frobnicate /tmp/x",
+      "snapshot save",
+      "drop",
+      "drop nosuch",
+      "solve x obj=",
+      "solve x =v",
+      "solve x obj=banana",
+  };
+  for (const std::string& line : garbage) {
+    const std::string response = feed(session, line);
+    EXPECT_EQ(response.rfind("err ", 0), 0U) << "line '" << line << "' -> " << response;
+    EXPECT_EQ(response.find('\n'), response.size() - 1) << "multi-line error for " << line;
+  }
+
+  // Inside a block, bad records error but the block survives...
+  EXPECT_EQ(feed(session, "instance x"), "");
+  for (const std::string& line :
+       {std::string("stage zero 1 2"), std::string("stage 0 1"), std::string("proc fast 1 2 3"),
+        std::string("input"), std::string("links"), std::string("solve x")}) {
+    const std::string response = feed(session, line);
+    EXPECT_EQ(response.rfind("err ", 0), 0U) << "block line '" << line << "' -> " << response;
+  }
+  // ...and a structurally nonsensical instance (no stages/procs) is a
+  // structured admission error at solve time, not an assert.
+  EXPECT_EQ(feed(session, "end").rfind("ok instance x", 0), 0U);
+  const std::string empty_solve = feed(session, "solve x");
+  EXPECT_EQ(empty_solve.rfind("err ", 0), 0U) << empty_solve;
+
+  // Nonsense numerics (negative speeds, NaN work...) reject as malformed.
+  EXPECT_EQ(feed(session, "instance y"), "");
+  EXPECT_EQ(feed(session, "input 1"), "");
+  EXPECT_EQ(feed(session, "stage 0 nan 1"), "");
+  EXPECT_EQ(feed(session, "proc -1 0.5 1 1 1"), "");
+  EXPECT_EQ(feed(session, "end").rfind("ok instance y", 0), 0U);
+  const std::string bad_solve = feed(session, "solve y");
+  EXPECT_EQ(bad_solve.rfind("err malformed", 0), 0U) << bad_solve;
+
+  // After all of that the session still serves a real request.
+  upload(session, "ok_instance", 5);
+  EXPECT_NE(feed(session, "solve ok_instance").find("ok solve"), std::string::npos);
+}
+
+TEST(Server, WireCapsBoundMemory) {
+  Broker broker;
+  SessionOptions options;
+  options.max_stage_records = 2;
+  options.max_processor_records = 2;
+  options.max_instances = 1;
+  Session session(broker, options);
+
+  EXPECT_EQ(feed(session, "instance a"), "");
+  EXPECT_EQ(feed(session, "stage 0 1 1"), "");
+  EXPECT_EQ(feed(session, "stage 1 1 1"), "");
+  EXPECT_EQ(feed(session, "stage 2 1 1").rfind("err oversized", 0), 0U);
+  EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
+  EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
+  EXPECT_EQ(feed(session, "proc 1 0 1 1").rfind("err oversized", 0), 0U);
+  EXPECT_EQ(feed(session, "end").rfind("ok instance a", 0), 0U);
+
+  // The instance table cap counts names, and re-registering is not growth.
+  EXPECT_EQ(feed(session, "instance b").rfind("err oversized", 0), 0U);
+  EXPECT_EQ(feed(session, "instance a"), "");
+  EXPECT_EQ(feed(session, "end").rfind("ok instance a", 0), 0U);
+}
+
+TEST(Server, ProcLinkRowLengthValidatedAtEnd) {
+  Broker broker;
+  Session session(broker);
+  EXPECT_EQ(feed(session, "instance x"), "");
+  EXPECT_EQ(feed(session, "input 1"), "");
+  EXPECT_EQ(feed(session, "stage 0 1 1"), "");
+  EXPECT_EQ(feed(session, "proc 1 0 1 1 5 5 5"), "");  // 3 links, but m = 2
+  EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
+  const std::string response = feed(session, "end");
+  EXPECT_EQ(response.rfind("err protocol", 0), 0U) << response;
+}
+
+// --- Stream and TCP transports. ---------------------------------------------
+
+TEST(Server, ServeStreamRunsAScript) {
+  Broker broker;
+  std::istringstream in("ping\nping\nquit\nping\n");  // the trailing ping is never read
+  std::ostringstream out;
+  EXPECT_FALSE(serve_stream(broker, in, out));
+  EXPECT_EQ(out.str(), "ok pong\nok pong\nok bye\n");
+
+  std::istringstream in2("shutdown\n");
+  std::ostringstream out2;
+  EXPECT_TRUE(serve_stream(broker, in2, out2));
+}
+
+/// Minimal blocking loopback client for the TCP test.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  void send_text(const std::string& text) {
+    ASSERT_EQ(::send(fd_, text.data(), text.size(), 0),
+              static_cast<ssize_t>(text.size()));
+  }
+
+  /// Reads until the peer closes the connection.
+  std::string read_all() {
+    std::string out;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n <= 0) break;
+      out.append(buffer, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(Server, TcpLoopbackServesSessionsUntilShutdown) {
+  Broker broker;
+  auto bound = TcpServer::bind_localhost(0);
+  ASSERT_TRUE(bound.has_value()) << bound.error().to_string();
+  TcpServer server = std::move(bound.value());
+  ASSERT_TRUE(server.bound());
+  ASSERT_NE(server.port(), 0);
+
+  std::size_t sessions = 0;
+  std::thread accept_thread([&] { sessions = server.serve(broker); });
+
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    std::string script = "ping\r\n";  // CRLF tolerated
+    for (const std::string& line : upload_lines("job", 5)) script += line + '\n';
+    script += "solve job obj=pareto\nquit\n";
+    client.send_text(script);
+    const std::string response = client.read_all();
+    EXPECT_EQ(response.rfind("ok pong\nok instance job", 0), 0U) << response;
+    EXPECT_NE(response.find("ok solve name=job cache=miss"), std::string::npos);
+    EXPECT_NE(response.find("done\nok bye\n"), std::string::npos);
+  }
+  {
+    // A second connection shares the broker (and therefore the warm cache).
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    std::string script;
+    for (const std::string& line : upload_lines("job", 5)) script += line + '\n';
+    script += "solve job obj=pareto\nshutdown\n";
+    client.send_text(script);
+    const std::string response = client.read_all();
+    EXPECT_NE(response.find("cache=hit"), std::string::npos) << response;
+    EXPECT_NE(response.find("ok shutdown\n"), std::string::npos);
+  }
+
+  accept_thread.join();
+  EXPECT_EQ(sessions, 2U);
+}
+
+}  // namespace
+}  // namespace relap::service

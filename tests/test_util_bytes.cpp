@@ -1,0 +1,177 @@
+// Tests for util/bytes.hpp: the little-endian byte helpers every wire-stable
+// byte stream in the repo is built from (instance cache keys, snapshot
+// sections), plus the known-answer pin of the instance key-byte layout —
+// io::append_instance_key_bytes feeds cache keys, canonical hashes and
+// snapshots, so its exact bytes are a compatibility contract.
+
+#include "relap/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "relap/io/instance_format.hpp"
+#include "relap/pipeline/pipeline.hpp"
+#include "relap/platform/builders.hpp"
+
+namespace relap::util::bytes {
+namespace {
+
+std::string hex(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out += digits[b >> 4];
+    out += digits[b & 0xF];
+  }
+  return out;
+}
+
+// --- Writers: known-answer byte layouts. -----------------------------------
+
+TEST(Bytes, U32LittleEndianKnownAnswer) {
+  std::string out;
+  append_u32_le(out, 0x01020304U);
+  EXPECT_EQ(hex(out), "04030201");
+  append_u32_le(out, 0);
+  EXPECT_EQ(hex(out), "0403020100000000");
+}
+
+TEST(Bytes, U64LittleEndianKnownAnswer) {
+  std::string out;
+  append_u64_le(out, 0x0102030405060708ULL);
+  EXPECT_EQ(hex(out), "0807060504030201");
+}
+
+TEST(Bytes, DoubleSerializesIeeeBitsLittleEndian) {
+  // 1.0 = 0x3FF0000000000000; least-significant byte first on the wire.
+  std::string out;
+  append_double_le(out, 1.0);
+  EXPECT_EQ(hex(out), "000000000000f03f");
+
+  // -0.0 differs from +0.0 on the wire: the stream carries bits, not values.
+  std::string pos, neg;
+  append_double_le(pos, 0.0);
+  append_double_le(neg, -0.0);
+  EXPECT_EQ(hex(pos), "0000000000000000");
+  EXPECT_EQ(hex(neg), "0000000000000080");
+}
+
+TEST(Bytes, DoublesSpanMatchesElementwise) {
+  const double values[] = {1.0, 2.5, -3.0};
+  std::string spanwise, elementwise;
+  append_doubles_le(spanwise, values);
+  for (const double v : values) append_double_le(elementwise, v);
+  EXPECT_EQ(spanwise, elementwise);
+}
+
+TEST(Bytes, LengthPrefixedBytesKnownAnswer) {
+  std::string out;
+  append_bytes(out, "ab");
+  EXPECT_EQ(hex(out), "02000000000000006162");
+}
+
+// --- ByteReader: round trips and truncation safety. ------------------------
+
+TEST(ByteReader, RoundTripsEveryWriter) {
+  std::string out;
+  append_u32_le(out, 0xDEADBEEFU);
+  append_u64_le(out, 0x123456789ABCDEF0ULL);
+  append_double_le(out, -1.5);
+  append_bytes(out, "payload");
+
+  ByteReader reader(out);
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  double d = 0.0;
+  std::string_view payload;
+  ASSERT_TRUE(reader.read_u32_le(u32));
+  ASSERT_TRUE(reader.read_u64_le(u64));
+  ASSERT_TRUE(reader.read_double_le(d));
+  ASSERT_TRUE(reader.read_bytes(payload));
+  EXPECT_EQ(u32, 0xDEADBEEFU);
+  EXPECT_EQ(u64, 0x123456789ABCDEF0ULL);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d), std::bit_cast<std::uint64_t>(-1.5));
+  EXPECT_EQ(payload, "payload");
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(reader.remaining(), 0U);
+}
+
+TEST(ByteReader, TruncatedReadsFailWithoutAdvancing) {
+  std::string out;
+  append_u64_le(out, 42);
+  // Every strict prefix fails the read and leaves the cursor untouched.
+  for (std::size_t len = 0; len < out.size(); ++len) {
+    ByteReader reader(std::string_view(out).substr(0, len));
+    std::uint64_t value = 0;
+    EXPECT_FALSE(reader.read_u64_le(value));
+    EXPECT_EQ(reader.cursor(), 0U);
+    EXPECT_EQ(reader.remaining(), len);
+  }
+}
+
+TEST(ByteReader, TruncatedLengthPrefixedPayloadRestoresCursor) {
+  std::string out;
+  append_bytes(out, "abcdef");
+  // Cut inside the payload: the length parses but the body is short — the
+  // reader must rewind past the consumed length prefix.
+  ByteReader reader(std::string_view(out).substr(0, out.size() - 1));
+  std::string_view payload;
+  EXPECT_FALSE(reader.read_bytes(payload));
+  EXPECT_EQ(reader.cursor(), 0U);
+}
+
+TEST(ByteReader, OversizedLengthPrefixRejected) {
+  // A length prefix claiming more bytes than exist must fail, not read OOB.
+  std::string out;
+  append_u64_le(out, 1ULL << 60);
+  out += "xy";
+  ByteReader reader(out);
+  std::string_view payload;
+  EXPECT_FALSE(reader.read_bytes(payload));
+}
+
+// --- The instance key-byte layout contract. --------------------------------
+
+TEST(InstanceKeyBytes, KnownAnswerLayout) {
+  // 1 stage (w=1, delta_0=1, delta_1=1), 1 processor (s=1, fp=0, b=1): the
+  // smallest instance exercises every column in the documented order —
+  // n, m, work, data, speeds, fps, in-bw, out-bw (no off-diagonal links).
+  const pipeline::Pipeline pipe({1.0}, {1.0, 1.0});
+  const platform::Platform plat = platform::make_fully_homogeneous(1, 1.0, 1.0, 0.0);
+  std::string key;
+  io::append_instance_key_bytes(pipe, plat, key);
+
+  const std::string one_u64 = "0100000000000000";
+  const std::string one_f64 = "000000000000f03f";  // 1.0
+  const std::string zero_f64 = "0000000000000000";
+  EXPECT_EQ(hex(key), one_u64 + one_u64 +        // n=1, m=1
+                          one_f64 +              // work
+                          one_f64 + one_f64 +    // data delta_0, delta_1
+                          one_f64 +              // speed
+                          zero_f64 +             // failure prob
+                          one_f64 + one_f64);    // in/out bandwidth
+}
+
+TEST(InstanceKeyBytes, LinkMatrixSkipsDiagonalRowMajor) {
+  // 2 processors with b(0,1) = b(1,0) = 2.0: exactly two off-diagonal
+  // doubles follow the bandwidth columns, row-major.
+  const pipeline::Pipeline pipe({1.0}, {1.0, 1.0});
+  const platform::Platform plat = platform::make_fully_homogeneous(2, 1.0, 2.0, 0.0);
+  std::string key;
+  io::append_instance_key_bytes(pipe, plat, key);
+
+  const std::string two_f64 = "0000000000000040";  // 2.0
+  ASSERT_GE(key.size(), 16U);
+  EXPECT_EQ(hex(key).substr(hex(key).size() - 32), two_f64 + two_f64);
+  // Total size: 2 u64 counts + (1 work + 2 data + 4*m columns + m*(m-1)
+  // off-diagonal links) doubles.
+  EXPECT_EQ(key.size(), 8 * (2 + 1 + 2 + 4 * 2 + 2));
+}
+
+}  // namespace
+}  // namespace relap::util::bytes
