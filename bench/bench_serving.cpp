@@ -12,12 +12,19 @@
 // snapshot save/load entries/sec (gated by compare_bench.py) and the
 // label-independent front checksum of the served fronts (warn-compared).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -80,6 +87,86 @@ void expect_ok(const std::string& response, const char* what) {
     std::fprintf(stderr, "%s did not answer ok: %s\n", what, response.c_str());
     std::exit(1);
   }
+}
+
+/// Blocking loopback client for the concurrent-serving tables. A solve
+/// reply is many lines ending `done`; a refused one is a single `err` line —
+/// `read_reply` consumes exactly one reply either way.
+class WireClient {
+ public:
+  explicit WireClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool send_text(const std::string& text) {
+    return ::send(fd_, text.data(), text.size(), 0) == static_cast<ssize_t>(text.size());
+  }
+
+  /// Reads one whole solve reply. Returns +1 for a served solve (`done`),
+  /// 0 for a structured `err` line (e.g. shed as overloaded), -1 on
+  /// connection loss.
+  int read_reply() {
+    for (;;) {
+      const std::string line = read_line();
+      if (line.empty()) return -1;
+      if (line == "done\n") return 1;
+      if (line.rfind("err ", 0) == 0) return 0;
+    }
+  }
+
+  /// Reads one '\n'-terminated line; empty on connection loss.
+  std::string read_line() {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline + 1);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t received = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (received <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(received));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One bench client session: upload `instance` under `name`, then issue
+/// `solves` warm solve lines one at a time. Counts served vs refused.
+void run_bench_client(std::uint16_t port, const std::string& name,
+                      const service::InstanceData& instance, std::size_t solves,
+                      std::atomic<std::size_t>& served, std::atomic<std::size_t>& refused) {
+  WireClient client(port);
+  if (!client.connected()) return;
+  std::string upload;
+  for (const std::string& line : instance_lines(name, instance)) upload += line + '\n';
+  if (!client.send_text(upload)) return;
+  // Drain the one `ok instance` response line (block lines answer nothing).
+  if (client.read_line().rfind("ok instance", 0) != 0) return;
+  const std::string solve_line = "solve " + name + " obj=pareto method=heuristic sweep=16\n";
+  for (std::size_t i = 0; i < solves; ++i) {
+    if (!client.send_text(solve_line)) return;
+    const int reply = client.read_reply();
+    if (reply < 0) return;
+    (reply == 1 ? served : refused).fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)client.send_text("quit\n");
 }
 
 void print_tables() {
@@ -148,6 +235,88 @@ void print_tables() {
   }
   const double wire_per_sec = static_cast<double>(solve_lines.size()) / wire_elapsed;
 
+  // Concurrent TCP: the same warm lookups through the full concurrent front
+  // — sockets, per-connection session threads, and the broker's shared
+  // batch queue (`solve_batched`). One row per connection count.
+  constexpr std::size_t kTotalConcurrentSolves = 96;
+  struct ConcurrentRow {
+    std::size_t connections;
+    double requests_per_sec;
+  };
+  std::vector<ConcurrentRow> concurrent_rows;
+  for (const std::size_t connections : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    auto bound = service::TcpServer::bind_localhost(0);
+    if (!bound.has_value()) {
+      std::fprintf(stderr, "tcp bind failed: %s\n", bound.error().to_string().c_str());
+      std::exit(1);
+    }
+    service::TcpServer tcp = std::move(bound.value());
+    service::ServerOptions server_options;
+    server_options.max_connections = connections;
+    std::thread accept_thread([&] { (void)tcp.serve(broker, server_options); });
+
+    std::atomic<std::size_t> ok{0};
+    std::atomic<std::size_t> err{0};
+    const std::size_t per_client = kTotalConcurrentSolves / connections;
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+          run_bench_client(tcp.port(), "conn" + std::to_string(c),
+                           requests[c % requests.size()].instance, per_client, ok, err);
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    }
+    const double elapsed = seconds_since(start);
+    tcp.request_stop();
+    accept_thread.join();
+    if (ok.load() != per_client * connections || err.load() != 0) {
+      std::fprintf(stderr, "concurrent pass dropped requests: ok=%zu err=%zu want=%zu\n",
+                   ok.load(), err.load(), per_client * connections);
+      std::exit(1);
+    }
+    concurrent_rows.push_back({connections, static_cast<double>(ok.load()) / elapsed});
+  }
+
+  // Saturation: a tiny admission queue (high watermark 2) under 16 clients —
+  // measures what fraction of offered load the broker sheds as `overloaded`
+  // instead of queueing without bound. Structured refusals, no hangs.
+  double shed_rate = 0.0;
+  {
+    service::BrokerOptions saturated_options;
+    saturated_options.queue_high_watermark = 2;
+    saturated_options.queue_low_watermark = 1;
+    service::Broker saturated(saturated_options);
+    for (const service::SolveRequest& request : requests) {
+      if (!saturated.solve(request).has_value()) std::exit(1);  // warm its cache
+    }
+    auto bound = service::TcpServer::bind_localhost(0);
+    if (!bound.has_value()) std::exit(1);
+    service::TcpServer tcp = std::move(bound.value());
+    service::ServerOptions server_options;
+    server_options.max_connections = 16;
+    std::thread accept_thread([&] { (void)tcp.serve(saturated, server_options); });
+
+    std::atomic<std::size_t> ok{0};
+    std::atomic<std::size_t> err{0};
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < 16; ++c) {
+        clients.emplace_back([&, c] {
+          run_bench_client(tcp.port(), "sat" + std::to_string(c),
+                           requests[c % requests.size()].instance, 12, ok, err);
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    }
+    tcp.request_stop();
+    accept_thread.join();
+    const std::size_t offered = ok.load() + err.load();
+    shed_rate = offered == 0 ? 0.0 : static_cast<double>(err.load()) / static_cast<double>(offered);
+  }
+
   // Snapshot persistence: save the primed cache, load it into a cold broker.
   const std::string path = "BENCH_serving.snapshot.tmp";
   double save_elapsed = std::numeric_limits<double>::infinity();
@@ -185,12 +354,26 @@ void print_tables() {
               wire_elapsed * 1e3, wire_per_sec);
   std::printf("\nwire/in-process: %.2fx   fronts %s\n", wire_per_sec / inproc_per_sec,
               fronts.hex().c_str());
+
+  std::printf("\nconcurrent TCP (warm, %zu solves total):\n", kTotalConcurrentSolves);
+  std::printf("%-18s %16s\n", "connections", "requests/s");
+  for (const ConcurrentRow& row : concurrent_rows) {
+    std::printf("%-18zu %16.0f\n", row.connections, row.requests_per_sec);
+  }
+  std::printf("\nsaturation (16 clients, queue high watermark 2): shed rate %.1f%%\n",
+              shed_rate * 100.0);
+
   std::printf("\nsnapshot: %zu entries, %zu bytes   save %.0f entries/s   load %.0f entries/s\n",
               entries, bytes, save_per_sec, load_per_sec);
 
   report.field("warm_inproc_requests_per_sec", inproc_per_sec)
       .field("warm_wire_requests_per_sec", wire_per_sec)
-      .field("wire_over_inproc", wire_per_sec / inproc_per_sec)
+      .field("wire_over_inproc", wire_per_sec / inproc_per_sec);
+  for (const ConcurrentRow& row : concurrent_rows) {
+    const std::string key = "tcp_" + std::to_string(row.connections) + "conn_requests_per_sec";
+    report.field(key.c_str(), row.requests_per_sec);
+  }
+  report.field("saturation_shed_rate", shed_rate)
       .field("snapshot_entries", static_cast<std::uint64_t>(entries))
       .field("snapshot_bytes", static_cast<std::uint64_t>(bytes))
       .field("snapshot_save_entries_per_sec", save_per_sec)

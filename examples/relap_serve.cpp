@@ -4,6 +4,9 @@
 //
 //   $ ./relap_serve [--stdio] [--port N] [--snapshot PATH]
 //                   [--cache-entries N] [--max-stages N] [--max-processors N]
+//                   [--max-connections N] [--read-timeout-ms N]
+//                   [--write-timeout-ms N] [--queue-high-watermark N]
+//                   [--queue-low-watermark N] [--degrade]
 //
 //   --stdio            serve one session over stdin/stdout (default)
 //   --port N           serve loopback TCP on port N instead (0 = ephemeral;
@@ -13,11 +16,28 @@
 //   --cache-entries N  memo-cache capacity (entries)
 //   --max-stages N     admission cap on pipeline stages
 //   --max-processors N admission cap on platform processors
+//   --max-connections N    concurrent TCP connection cap (extra connections
+//                          get `err overloaded` and are closed)
+//   --read-timeout-ms N    reap TCP connections idle this long (0 = never)
+//   --write-timeout-ms N   give up on peers not draining responses (0 = off)
+//   --queue-high-watermark N  shed lowest-priority queued work past this
+//                             many pending tickets (`err overloaded`)
+//   --queue-low-watermark N   shed down to this many (default: half of high)
+//   --degrade          answer deadline-cancelled solves with the fast
+//                      heuristic front (degraded=1, exact=0) instead of
+//                      `err deadline-exceeded`
+//
+// In TCP mode SIGTERM/SIGINT trigger a graceful drain: the server stops
+// accepting, live connections get `err shutting-down` on their next line,
+// in-flight work finishes, and the snapshot (if configured) is saved before
+// exit — so an orchestrator's stop signal never tears a snapshot or drops
+// an accepted request silently.
 //
 // On exit the full metrics JSON is printed to stderr, so scripted sessions
 // (CI drives one end-to-end) can assert on the counters without mixing
 // diagnostics into the protocol stream on stdout.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -33,9 +53,20 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--stdio] [--port N] [--snapshot PATH] [--cache-entries N]\n"
-               "          [--max-stages N] [--max-processors N]\n",
+               "          [--max-stages N] [--max-processors N] [--max-connections N]\n"
+               "          [--read-timeout-ms N] [--write-timeout-ms N]\n"
+               "          [--queue-high-watermark N] [--queue-low-watermark N] [--degrade]\n",
                argv0);
   return 2;
+}
+
+// Signal handlers may only touch async-signal-safe state: request_stop() is
+// an atomic store plus shutdown(2) on the listener. The broker's own drain
+// (which takes a mutex) happens on the main thread once serve() returns.
+relap::service::TcpServer* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
 }
 
 }  // namespace
@@ -47,6 +78,7 @@ int main(int argc, char** argv) {
   std::size_t port = 0;
   std::string snapshot_path;
   service::BrokerOptions options;
+  service::ServerOptions server_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -76,6 +108,28 @@ int main(int argc, char** argv) {
       const std::optional<std::size_t> value = next_size();
       if (!value || *value == 0) return usage(argv[0]);
       options.max_processors = *value;
+    } else if (arg == "--max-connections") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value == 0) return usage(argv[0]);
+      server_options.max_connections = *value;
+    } else if (arg == "--read-timeout-ms") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value > 86'400'000) return usage(argv[0]);
+      server_options.read_timeout_ms = static_cast<int>(*value);
+    } else if (arg == "--write-timeout-ms") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value > 86'400'000) return usage(argv[0]);
+      server_options.write_timeout_ms = static_cast<int>(*value);
+    } else if (arg == "--queue-high-watermark") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value) return usage(argv[0]);
+      options.queue_high_watermark = *value;
+    } else if (arg == "--queue-low-watermark") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value) return usage(argv[0]);
+      options.queue_low_watermark = *value;
+    } else if (arg == "--degrade") {
+      options.degrade_on_deadline = true;
     } else {
       return usage(argv[0]);
     }
@@ -108,7 +162,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "relap_serve: listening on 127.0.0.1:%u\n",
                  static_cast<unsigned>(server->port()));
-    const std::size_t sessions = server.value().serve(broker);
+    g_server = &server.value();
+    std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGINT, handle_stop_signal);
+    const std::size_t sessions = server.value().serve(broker, server_options);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_server = nullptr;
+    // Graceful drain: refuse any further broker work before the snapshot is
+    // saved (connection threads have already been joined by serve()).
+    broker.begin_shutdown();
     std::fprintf(stderr, "relap_serve: served %zu session(s)\n", sessions);
   } else {
     (void)service::serve_stream(broker, std::cin, std::cout);

@@ -166,6 +166,10 @@ bool parallel_interval_enumeration_w(const pipeline::Pipeline& pipeline,
   out = exec::parallel_reduce(
       space.total, kCandidatesPerChunk, [] { return Acc(); },
       [&](Acc& local, std::size_t begin, std::size_t end, std::size_t) {
+        // Cooperative cancellation, polled per chunk: a cancelled group
+        // abandons its remaining chunks and the entry point discards the
+        // partial accumulators behind a "cancelled" error.
+        if (util::cancel_requested(options.cancel)) return;
         mapping::LaneEvalBatch<W> batch(n, m);
         std::array<mapping::ViewEval, W> evals;
         std::array<std::size_t, W> lane_idx{};  // flat index staged per lane
@@ -264,6 +268,10 @@ util::Error budget_error(const ExhaustiveOptions& options) {
                                std::to_string(options.max_evaluations) + " evaluations");
 }
 
+util::Error cancelled_error() {
+  return util::make_error("cancelled", "exhaustive enumeration was cancelled before completing");
+}
+
 }  // namespace
 
 util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeline,
@@ -290,6 +298,7 @@ util::Expected<ParetoOutcome> exhaustive_pareto(const pipeline::Pipeline& pipeli
         for (const util::ParetoPoint& point : from.front.points()) into.front.insert(point);
       });
   if (!completed) return budget_error(options);
+  if (util::cancel_requested(options.cancel)) return cancelled_error();
 
   ParetoOutcome outcome;
   outcome.evaluations = acc.evaluations;
@@ -318,6 +327,7 @@ Result exhaustive_min_fp_for_latency(const pipeline::Pipeline& pipeline,
           const mapping::ViewEval& eval) { return within_cap(eval.latency, max_latency); },
       best);
   if (!completed) return budget_error(options);
+  if (util::cancel_requested(options.cancel)) return cancelled_error();
   if (!best) {
     return util::infeasible("no interval mapping meets latency threshold " +
                             util::format_double(max_latency));
@@ -338,6 +348,7 @@ Result exhaustive_min_latency_for_fp(const pipeline::Pipeline& pipeline,
       },
       best);
   if (!completed) return budget_error(options);
+  if (util::cancel_requested(options.cancel)) return cancelled_error();
   if (!best) {
     return util::infeasible("no interval mapping meets failure threshold " +
                             util::format_double(max_failure_probability));
@@ -359,6 +370,7 @@ Result exhaustive_min_fp_for_latency_and_period(const pipeline::Pipeline& pipeli
       },
       best);
   if (!completed) return budget_error(options);
+  if (util::cancel_requested(options.cancel)) return cancelled_error();
   if (!best) {
     return util::infeasible("no interval mapping meets latency threshold " +
                             util::format_double(max_latency) + " and period threshold " +

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "relap/algorithms/types.hpp"
+#include "relap/util/cancel.hpp"
 
 namespace relap::exec {
 class ThreadPool;
@@ -52,6 +53,10 @@ struct ExhaustiveOptions {
   /// width — the lane kernels follow the scalar oracle term for term and the
   /// determinism suite pins W in {1, 4, 8} against each other.
   std::size_t lane_width = 0;
+  /// Optional cooperative cancellation (util/cancel.hpp): polled at chunk
+  /// granularity by the parallel drivers. A tripped token makes the entry
+  /// point return a "cancelled" error; it never alters a completed result.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// One point of a latency/FP Pareto front together with a witness mapping.

@@ -320,6 +320,9 @@ void enumerate_beam_candidates(const pipeline::Pipeline& pipeline,
   };
 
   for (std::size_t i = 0; i < n; ++i) {
+    // Cancellation poll per beam level: a cancelled solve stops extending
+    // states and emits nothing (the entry points turn that into an error).
+    if (util::cancel_requested(options.cancel)) return;
     prune(beams[i]);
     for (const BeamState& state : beams[i]) {
       Group unused;
@@ -382,8 +385,15 @@ Result pick_best(const pipeline::Pipeline& pipeline, const platform::Platform& p
     if (!best || better(s, *best, cap)) best = std::move(s);
   };
   enumerate_single_interval_candidates(pipeline, platform, options, sink);
-  enumerate_greedy_split_candidates(pipeline, platform, options, sink);
-  enumerate_beam_candidates(pipeline, platform, options, sink);
+  if (!util::cancel_requested(options.cancel)) {
+    enumerate_greedy_split_candidates(pipeline, platform, options, sink);
+  }
+  if (!util::cancel_requested(options.cancel)) {
+    enumerate_beam_candidates(pipeline, platform, options, sink);
+  }
+  if (util::cancel_requested(options.cancel)) {
+    return util::make_error("cancelled", "heuristic search was cancelled before completing");
+  }
 
   if (!best || !feasible(*best, cap)) {
     return util::infeasible(std::string("no heuristic candidate meets the ") + criterion +

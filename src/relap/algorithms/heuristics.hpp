@@ -32,6 +32,7 @@
 #include <functional>
 
 #include "relap/algorithms/types.hpp"
+#include "relap/util/cancel.hpp"
 
 namespace relap::exec {
 class ThreadPool;
@@ -54,6 +55,11 @@ struct HeuristicOptions {
   /// SIMD lane width of the beam's batched final evaluation: 1, 4 or 8, or
   /// 0 for the build default. Results are bit-identical at any width.
   std::size_t lane_width = 0;
+  /// Optional cooperative cancellation (util/cancel.hpp): polled between
+  /// generators and per beam level. A tripped token makes the constrained
+  /// entry points return a "cancelled" error; a completed result is never
+  /// altered.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Receives each candidate mapping a heuristic generates.

@@ -54,6 +54,7 @@ std::vector<ParetoSolution> sweep_latency_thresholds(const pipeline::Pipeline& p
   exec::parallel_for(
       options.thresholds, 1,
       [&](std::size_t i) {
+        if (util::cancel_requested(options.cancel)) return;  // skip late thresholds
         const double t = static_cast<double>(i) / static_cast<double>(options.thresholds - 1);
         const double threshold = lo * std::pow(ratio, t);
         results[i].emplace(solver(threshold));
@@ -64,7 +65,7 @@ std::vector<ParetoSolution> sweep_latency_thresholds(const pipeline::Pipeline& p
   std::vector<ParetoSolution> pool;
   insert_solution(front, pool, most_reliable);
   for (std::optional<Result>& r : results) {
-    if (*r) insert_solution(front, pool, std::move(*r).take());
+    if (r.has_value() && r->has_value()) insert_solution(front, pool, std::move(*r).take());
   }
   return finalize(front, pool);
 }
@@ -75,7 +76,9 @@ std::vector<ParetoSolution> heuristic_pareto_front(const pipeline::Pipeline& pip
   return sweep_latency_thresholds(
       pipeline, platform,
       [&](double max_latency) {
-        return heuristic_min_fp_for_latency(pipeline, platform, max_latency);
+        HeuristicOptions heuristic;
+        heuristic.cancel = options.cancel;
+        return heuristic_min_fp_for_latency(pipeline, platform, max_latency, heuristic);
       },
       options);
 }

@@ -34,6 +34,11 @@ struct ParetoDriverOptions {
   /// The front is assembled from the per-threshold results in index order,
   /// so the outcome is identical at any thread count.
   exec::ThreadPool* pool = nullptr;
+  /// Optional cooperative cancellation (util/cancel.hpp): polled per
+  /// threshold; remaining thresholds are skipped once it trips. Callers that
+  /// need an all-or-nothing answer must re-check the token after the sweep
+  /// (the broker does) — a partially swept front is otherwise returned.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Sweeps latency thresholds and merges the solver's answers into a front.

@@ -108,9 +108,14 @@ util::Expected<FrontReport> solve_pareto_front(const pipeline::Pipeline& pipelin
     ParetoDriverOptions driver;
     driver.thresholds = options.pareto_thresholds;
     driver.pool = options.heuristic.pool;
+    driver.cancel = options.heuristic.cancel;
     // The sweep's per-threshold solver is the heuristic suite, so the front
     // inherits its determinism contract (bit-identical at any thread count).
     std::vector<ParetoSolution> front = heuristic_pareto_front(pipeline, platform, driver);
+    // A cancelled sweep is partial: report the cancellation, not the front.
+    if (util::cancel_requested(options.heuristic.cancel)) {
+      return util::make_error("cancelled", "pareto sweep was cancelled before completing");
+    }
     return FrontReport{std::move(front), "heuristic front sweep", false, 0};
   };
   switch (options.method) {

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "relap/service/faultpoint.hpp"
 #include "relap/util/bytes.hpp"
 #include "relap/util/hash.hpp"
 
@@ -18,6 +21,29 @@ namespace {
 
 double elapsed_seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+util::Error deadline_exceeded_error(double deadline) {
+  return util::make_error("deadline-exceeded",
+                          "wall-clock budget of " + std::to_string(deadline) +
+                              "s was spent before a result was ready");
+}
+
+util::Error shutting_down_error() {
+  return util::make_error("shutting-down", "broker is draining; no new work is accepted");
+}
+
+/// Seconds the broker's clock is ahead of the real one — always 0 unless the
+/// "broker.clock_skew" fault point is armed (deterministic deadline tests).
+double clock_skew_seconds() {
+  return faultpoint::fire_value("broker.clock_skew").value_or(0.0);
+}
+
+/// True iff a budget of `deadline` seconds is spent after `elapsed` seconds.
+/// NaN / negative deadlines are malformed (rejected at admission) and never
+/// *expire* here; +inf never expires; 0 always does.
+bool deadline_expired(double deadline, double elapsed) {
+  return deadline >= 0.0 && elapsed >= deadline;
 }
 
 }  // namespace
@@ -40,6 +66,12 @@ util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) cons
   }
   if (request.max_evaluations == 0) {
     return util::make_error("malformed", "max_evaluations must be > 0");
+  }
+  if (std::isnan(request.deadline)) {
+    return util::make_error("malformed", "deadline must not be NaN");
+  }
+  if (request.deadline < 0.0) {
+    return util::make_error("malformed", "deadline must be a non-negative number of seconds");
   }
   if (request.objective == Objective::ParetoFront && request.pareto_thresholds < 2) {
     return util::make_error("malformed", "pareto_thresholds must be >= 2 for a front sweep");
@@ -93,15 +125,18 @@ util::Expected<Broker::Admitted> Broker::admit(const SolveRequest& request) cons
   return admitted;
 }
 
-util::Expected<algorithms::FrontReport> Broker::solve_canonical(const SolveRequest& request,
-                                                                const Admitted& admitted) const {
+util::Expected<algorithms::FrontReport> Broker::solve_canonical(
+    const SolveRequest& request, const Admitted& admitted,
+    const util::CancelToken* cancel) const {
   algorithms::SolveOptions options;
   options.method = request.method;
   options.auto_exhaustive_budget = request.max_evaluations;
   options.pareto_thresholds = request.pareto_thresholds;
   options.exhaustive.max_evaluations = request.max_evaluations;
   options.exhaustive.pool = options_.pool;
+  options.exhaustive.cancel = cancel;
   options.heuristic.pool = options_.pool;
+  options.heuristic.cancel = cancel;
 
   const pipeline::Pipeline& pipeline = admitted.canonical.pipeline;
   const platform::Platform& platform = admitted.canonical.platform;
@@ -152,6 +187,12 @@ util::Expected<Reply> Broker::solve(const SolveRequest& request) {
 }
 
 std::vector<util::Expected<Reply>> Broker::solve_batch(std::span<const SolveRequest> requests) {
+  if (shutting_down()) {
+    std::vector<util::Expected<Reply>> replies;
+    replies.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) replies.push_back(shutting_down_error());
+    return replies;
+  }
   return solve_batch_timed(requests, {});
 }
 
@@ -165,6 +206,11 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
   const auto queue_wait_of = [&](std::size_t i) {
     return queue_waits.empty() ? 0.0 : queue_waits[i];
   };
+  // Deadline budgets are measured against the queue wait plus any armed
+  // clock skew (faultpoint.hpp); `batch_start` anchors the mid-solve
+  // cancellation deadlines below.
+  const auto batch_start = std::chrono::steady_clock::now();
+  const double skew = clock_skew_seconds();
 
   // Group requests with equal full keys (first-seen order): one solve per
   // group, everyone else rides the cache.
@@ -174,10 +220,20 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
     int priority = 0;
     double deadline = 0.0;
     std::size_t arrival = 0;
+    /// Loosest member budget still unspent at batch_start, seconds.
+    double remaining = 0.0;
   };
   std::vector<Group> groups;
   std::unordered_map<std::string_view, std::size_t> group_of;
   for (std::size_t i = 0; i < count; ++i) {
+    // Dequeue-time deadline enforcement: a budget already spent while
+    // queued is rejected before any work happens (deadline 0 expires
+    // deterministically; NaN/negative fall through to admit's "malformed").
+    if (deadline_expired(requests[i].deadline, queue_wait_of(i) + skew)) {
+      metrics_.deadline_exceeded_total.add(1);
+      staged[i] = deadline_exceeded_error(requests[i].deadline);
+      continue;
+    }
     util::Expected<Admitted> result = admit(requests[i]);
     if (!result.has_value()) {
       metrics_.rejected_total.add(1);
@@ -187,16 +243,18 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
     metrics_.canonicalize.record(result->canonicalize_seconds);
     if (!queue_waits.empty()) metrics_.queue_wait.record(queue_waits[i]);
     admitted[i] = std::move(result).take();
+    const double remaining = requests[i].deadline - queue_wait_of(i) - skew;
     const std::string_view key = admitted[i]->full_key;
     auto [it, inserted] = group_of.try_emplace(key, groups.size());
     if (inserted) {
       groups.push_back(Group{admitted[i]->full_hash, {i}, requests[i].priority,
-                             requests[i].deadline, i});
+                             requests[i].deadline, i, remaining});
     } else {
       Group& group = groups[it->second];
       group.members.push_back(i);
       group.priority = std::max(group.priority, requests[i].priority);
       group.deadline = std::min(group.deadline, requests[i].deadline);
+      group.remaining = std::max(group.remaining, remaining);
     }
   }
 
@@ -214,6 +272,18 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
     const std::size_t lead_index = group.members.front();
     const Admitted& lead = *admitted[lead_index];
 
+    // Mid-solve cancellation is armed with the group's *loosest* surviving
+    // budget: the solve is abandoned only once no member still wants the
+    // answer. (Tighter members of a mixed group may therefore receive a
+    // completed reply after their own budget — a finished answer is always
+    // delivered.)
+    util::CancelToken cancel;
+    if (std::isfinite(group.remaining)) {
+      cancel.set_deadline(batch_start +
+                          std::chrono::duration_cast<util::CancelToken::Clock::duration>(
+                              std::chrono::duration<double>(group.remaining)));
+    }
+
     TraceSpans lead_spans;
     lead_spans.queue_wait_seconds = queue_wait_of(lead_index);
     lead_spans.canonicalize_seconds = lead.canonicalize_seconds;
@@ -225,10 +295,51 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
     const bool lead_hit = report != nullptr;
     if (!report) {
       metrics_.solves_total.add(1);
+      // Fault point: a stalled solver thread — how the tests drive the
+      // deadline-cancellation path deterministically.
+      if (const std::optional<double> stall = faultpoint::fire_value("broker.solve_stall")) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(*stall));
+      }
       const auto start = std::chrono::steady_clock::now();
-      util::Expected<algorithms::FrontReport> solved = solve_canonical(requests[lead_index], lead);
+      util::Expected<algorithms::FrontReport> solved =
+          solve_canonical(requests[lead_index], lead, &cancel);
       lead_spans.solve_seconds = elapsed_seconds(start);
       metrics_.solve.record(lead_spans.solve_seconds);
+      if (!solved.has_value() && solved.error().code == "cancelled") {
+        // The deadline passed mid-solve; the partial work is discarded so a
+        // completed reply can never depend on cancellation timing.
+        metrics_.cancelled_total.add(1);
+        if (options_.degrade_on_deadline) {
+          SolveRequest fallback_request = requests[lead_index];
+          fallback_request.method = algorithms::Method::Heuristic;
+          const auto fallback_start = std::chrono::steady_clock::now();
+          util::Expected<algorithms::FrontReport> fallback =
+              solve_canonical(fallback_request, lead, nullptr);
+          lead_spans.solve_seconds += elapsed_seconds(fallback_start);
+          if (fallback.has_value()) {
+            const algorithms::FrontReport degraded_report = std::move(fallback).take();
+            for (std::size_t k = 0; k < group.members.size(); ++k) {
+              const std::size_t member = group.members[k];
+              TraceSpans spans = lead_spans;
+              if (k != 0) {
+                spans.queue_wait_seconds = queue_wait_of(member);
+                spans.canonicalize_seconds = admitted[member]->canonicalize_seconds;
+              }
+              Reply reply = make_reply(*admitted[member], degraded_report, false, spans);
+              reply.degraded = true;
+              metrics_.degraded_total.add(1);
+              staged[member] = std::move(reply);
+            }
+            return;
+          }
+          // Even the heuristic fallback failed; report the deadline.
+        }
+        for (const std::size_t member : group.members) {
+          metrics_.deadline_exceeded_total.add(1);
+          staged[member] = deadline_exceeded_error(requests[member].deadline);
+        }
+        return;
+      }
       if (!solved.has_value()) {
         // Errors are not cached: every member gets its own copy.
         metrics_.solve_errors_total.add(1);
@@ -264,10 +375,53 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
   return replies;
 }
 
+void Broker::resolve_ticket_locked(std::uint64_t id, util::Expected<Reply> reply) {
+  if (waiter_ids_.contains(id)) {
+    waiter_results_.emplace(id, std::move(reply));
+  } else {
+    completed_.push_back(Drained{id, std::move(reply)});
+  }
+}
+
+void Broker::shed_overflow_locked() {
+  const std::size_t high = options_.queue_high_watermark;
+  if (high == 0 || queue_.size() <= high) return;
+  std::size_t low = options_.queue_low_watermark;
+  if (low == 0 || low > high) low = high / 2;
+  while (queue_.size() > low) {
+    // Victim: lowest priority, ties broken toward the latest deadline, then
+    // the newest arrival — the work whose loss costs the least.
+    const auto victim = std::min_element(
+        queue_.begin(), queue_.end(), [](const Ticket& a, const Ticket& b) {
+          if (a.request.priority != b.request.priority) {
+            return a.request.priority < b.request.priority;
+          }
+          if (a.request.deadline != b.request.deadline) {
+            return a.request.deadline > b.request.deadline;
+          }
+          return a.id > b.id;
+        });
+    metrics_.shed_total.add(1);
+    resolve_ticket_locked(
+        victim->id,
+        util::make_error("overloaded",
+                         "queue exceeded its high watermark (" + std::to_string(high) +
+                             ") and this request was shed"));
+    queue_.erase(victim);
+  }
+  // Shed waiters must wake up and find their "overloaded" result.
+  queue_cv_.notify_all();
+}
+
 std::uint64_t Broker::submit(SolveRequest request) {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   const std::uint64_t id = next_ticket_++;
+  if (shutting_down()) {
+    resolve_ticket_locked(id, shutting_down_error());
+    return id;
+  }
   queue_.push_back(Ticket{id, std::move(request), std::chrono::steady_clock::now()});
+  shed_overflow_locked();
   return id;
 }
 
@@ -276,12 +430,7 @@ std::size_t Broker::pending() const {
   return queue_.size();
 }
 
-std::vector<Broker::Drained> Broker::drain() {
-  std::vector<Ticket> batch;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    batch.swap(queue_);
-  }
+std::vector<Broker::Drained> Broker::solve_tickets(std::vector<Ticket> batch) {
   const auto drained_at = std::chrono::steady_clock::now();
   std::vector<SolveRequest> requests;
   std::vector<double> queue_waits;
@@ -299,6 +448,76 @@ std::vector<Broker::Drained> Broker::drain() {
     drained.push_back(Drained{batch[i].id, std::move(replies[i])});
   }
   return drained;
+}
+
+std::vector<Broker::Drained> Broker::drain() {
+  std::vector<Ticket> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch.swap(queue_);
+  }
+  std::vector<Drained> solved = solve_tickets(std::move(batch));
+  std::vector<Drained> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    // Route `solve_batched` waiters' results to them; everything else —
+    // including the backlog of already-resolved tickets (shed, shutdown) —
+    // is this drain's to return.
+    bool woke_waiter = false;
+    for (Drained& d : solved) {
+      if (waiter_ids_.contains(d.id)) {
+        waiter_results_.emplace(d.id, std::move(d.reply));
+        woke_waiter = true;
+      } else {
+        drained.push_back(std::move(d));
+      }
+    }
+    for (Drained& d : completed_) drained.push_back(std::move(d));
+    completed_.clear();
+    if (woke_waiter) queue_cv_.notify_all();
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const Drained& a, const Drained& b) { return a.id < b.id; });
+  return drained;
+}
+
+util::Expected<Reply> Broker::solve_batched(const SolveRequest& request) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (shutting_down()) return shutting_down_error();
+  const std::uint64_t id = next_ticket_++;
+  waiter_ids_.insert(id);
+  queue_.push_back(Ticket{id, request, std::chrono::steady_clock::now()});
+  shed_overflow_locked();  // may shed this very ticket: the loop below sees it
+  while (true) {
+    const auto ready = waiter_results_.find(id);
+    if (ready != waiter_results_.end()) {
+      util::Expected<Reply> reply = std::move(ready->second);
+      waiter_results_.erase(ready);
+      waiter_ids_.erase(id);
+      return reply;
+    }
+    if (!draining_ && !queue_.empty()) {
+      // Become the drainer: solve the whole queue segment — our ticket and
+      // every concurrent session's — as one deduped, priority-ordered batch.
+      draining_ = true;
+      std::vector<Ticket> batch;
+      batch.swap(queue_);
+      lock.unlock();
+      std::vector<Drained> solved = solve_tickets(std::move(batch));
+      lock.lock();
+      for (Drained& d : solved) resolve_ticket_locked(d.id, std::move(d.reply));
+      draining_ = false;
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.wait(lock);
+    }
+  }
+}
+
+void Broker::begin_shutdown() {
+  shutting_down_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  queue_cv_.notify_all();
 }
 
 std::string Broker::metrics_json() const {

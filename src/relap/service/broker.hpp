@@ -41,11 +41,41 @@
 /// the other members re-probe the cache and count as hits. Group dispatch
 /// rides the same deterministic exec pool the solvers use — nested `run()` is
 /// explicitly safe there.
+///
+/// Overload hardening (all failure modes are structured errors, never
+/// asserts or hangs):
+///
+///   - **Deadlines are wall-clock budgets** (seconds from submit; see
+///     request.hpp). A request whose budget is spent when its batch
+///     dispatches rejects with "deadline-exceeded"; a running solve is
+///     cooperatively cancelled (util/cancel.hpp tokens, polled at chunk
+///     granularity in the solver stack) once the *loosest* surviving budget
+///     in its dedup group passes — a solve is abandoned only when no member
+///     still wants the answer. Cancelled solves are discarded, so completed
+///     replies stay bit-identical.
+///   - **Load shedding**: with `queue_high_watermark` set, a submit that
+///     overflows the queue sheds the lowest-priority tickets (code
+///     "overloaded") down to the low watermark.
+///   - **Degrade mode**: with `degrade_on_deadline`, a deadline-cancelled
+///     solve answers with a fast heuristic front instead of an error —
+///     flagged `Reply::degraded`, `exact == false`, never cached.
+///   - **Graceful drain**: after `begin_shutdown()`, new work is refused
+///     with "shutting-down" while already-queued tickets keep draining.
+///
+/// `solve_batched` is the concurrent serving entry point: each session
+/// submits into the shared queue and blocks for its own reply; one session
+/// drains the batch for everyone (waiter/drainer), so concurrent tenants
+/// coalesce into the same dedup + priority dispatch a single `solve_batch`
+/// call gets.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "relap/exec/thread_pool.hpp"
@@ -54,6 +84,7 @@
 #include "relap/service/metrics.hpp"
 #include "relap/service/request.hpp"
 #include "relap/service/snapshot.hpp"
+#include "relap/util/cancel.hpp"
 
 namespace relap::service {
 
@@ -65,6 +96,17 @@ struct BrokerOptions {
   /// Admission caps: requests beyond these reject with code "oversized".
   std::size_t max_stages = 64;
   std::size_t max_processors = 64;
+  /// Admission control for the submit/drain queue: when a submit pushes the
+  /// pending count past the high watermark, the lowest-priority tickets
+  /// (ties: latest deadline, then newest arrival) are shed with code
+  /// "overloaded" until only the low watermark remain. 0 disables shedding;
+  /// a zero low watermark defaults to half the high one.
+  std::size_t queue_high_watermark = 0;
+  std::size_t queue_low_watermark = 0;
+  /// Serve deadline-cancelled solves with a fast heuristic front
+  /// (`Reply::degraded`, `exact == false`, never cached) instead of a
+  /// "deadline-exceeded" error.
+  bool degrade_on_deadline = false;
 };
 
 class Broker {
@@ -82,7 +124,17 @@ class Broker {
   [[nodiscard]] std::vector<util::Expected<Reply>> solve_batch(
       std::span<const SolveRequest> requests);
 
-  /// Queues a request for the next `drain()`; returns its ticket id.
+  /// Serves one request through the shared submit/drain queue, blocking
+  /// until its reply is ready. Concurrent callers coalesce: one caller
+  /// drains the batch for everyone (dedup and priority dispatch apply
+  /// *across* callers), the others wait on their tickets. This is the
+  /// concurrent TCP front's entry point. Shed / shutdown outcomes surface
+  /// as "overloaded" / "shutting-down" errors.
+  [[nodiscard]] util::Expected<Reply> solve_batched(const SolveRequest& request);
+
+  /// Queues a request for the next `drain()`; returns its ticket id. After
+  /// `begin_shutdown()` the ticket resolves to a "shutting-down" error; a
+  /// submit that overflows the high watermark sheds (see BrokerOptions).
   std::uint64_t submit(SolveRequest request);
 
   /// Number of submitted, not-yet-drained requests.
@@ -94,8 +146,19 @@ class Broker {
   };
 
   /// Serves every queued request as one batch; results carry the ticket ids
-  /// handed out by `submit`, in submission order.
+  /// handed out by `submit`, in submission order (sorted by id). Also
+  /// delivers the backlog: tickets already resolved without a solve (shed
+  /// "overloaded", post-shutdown "shutting-down"). Tickets a concurrent
+  /// `solve_batched` drainer is solving right now surface on a later drain.
   [[nodiscard]] std::vector<Drained> drain();
+
+  /// Graceful drain: after this, `solve`/`solve_batch`/`solve_batched`
+  /// refuse with code "shutting-down" and new submits resolve to the same
+  /// error, while already-queued tickets keep draining normally.
+  void begin_shutdown();
+  [[nodiscard]] bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
@@ -132,12 +195,14 @@ class Broker {
 
   [[nodiscard]] util::Expected<Admitted> admit(const SolveRequest& request) const;
   [[nodiscard]] util::Expected<algorithms::FrontReport> solve_canonical(
-      const SolveRequest& request, const Admitted& admitted) const;
+      const SolveRequest& request, const Admitted& admitted,
+      const util::CancelToken* cancel) const;
   [[nodiscard]] Reply make_reply(const Admitted& admitted, const algorithms::FrontReport& report,
                                  bool cache_hit, TraceSpans spans) const;
   /// Shared batch path; `queue_waits` (empty, or one value per request)
   /// carries the submit -> drain delay of queued requests into spans and
-  /// metrics.
+  /// metrics, and is what dequeue-time deadline enforcement measures
+  /// budgets against.
   [[nodiscard]] std::vector<util::Expected<Reply>> solve_batch_timed(
       std::span<const SolveRequest> requests, std::span<const double> queue_waits);
 
@@ -151,9 +216,27 @@ class Broker {
     std::chrono::steady_clock::time_point submitted;
   };
 
+  /// Solves a swapped-out queue segment; caller routes the results.
+  [[nodiscard]] std::vector<Drained> solve_tickets(std::vector<Ticket> batch);
+  /// Sheds down to the low watermark; requires `queue_mutex_` held.
+  void shed_overflow_locked();
+  /// Resolves a ticket without solving (shed / shutdown); requires
+  /// `queue_mutex_` held.
+  void resolve_ticket_locked(std::uint64_t id, util::Expected<Reply> reply);
+
   mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
   std::vector<Ticket> queue_;
+  /// Resolved non-waiter tickets awaiting the next `drain()`.
+  std::vector<Drained> completed_;
+  /// `solve_batched` coordination: callers park their ticket id in
+  /// `waiter_ids_` and collect the reply from `waiter_results_`; at most one
+  /// caller drains at a time (`draining_`).
+  std::unordered_set<std::uint64_t> waiter_ids_;
+  std::unordered_map<std::uint64_t, util::Expected<Reply>> waiter_results_;
+  bool draining_ = false;
   std::uint64_t next_ticket_ = 1;
+  std::atomic<bool> shutting_down_{false};
 };
 
 }  // namespace relap::service

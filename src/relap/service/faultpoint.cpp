@@ -1,0 +1,101 @@
+#include "relap/service/faultpoint.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace relap::service::faultpoint {
+
+namespace {
+
+struct Point {
+  std::uint64_t skip = 0;
+  std::uint64_t times = 0;  ///< remaining firing hits; 0 = disarmed
+  bool sticky = false;
+  double value = 0.0;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Point> points;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+/// Fast-path gate: number of currently armed points. Zero means every hook
+/// returns immediately without touching the registry lock.
+std::atomic<std::uint64_t>& armed_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Shared slow path of should_fail/fire_value: counts the hit and decides
+/// whether it fires, yielding the armed value when it does.
+std::optional<double> hit_point(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(std::string(name));
+  if (it == reg.points.end()) {
+    // Track hits of unarmed-but-probed points too, so tests can assert a
+    // hook was reached without arming it.
+    ++reg.points[std::string(name)].hits;
+    return std::nullopt;
+  }
+  Point& point = it->second;
+  ++point.hits;
+  if (point.times == 0) return std::nullopt;
+  if (point.skip > 0) {
+    --point.skip;
+    return std::nullopt;
+  }
+  const double value = point.value;
+  if (!point.sticky && --point.times == 0) {
+    armed_count().fetch_sub(1, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+}  // namespace
+
+void arm(std::string_view name, ArmOptions options) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  Point& point = reg.points[std::string(name)];
+  if (point.times == 0 && options.times > 0) {
+    armed_count().fetch_add(1, std::memory_order_relaxed);
+  }
+  point.skip = options.skip;
+  point.times = options.times;
+  point.sticky = options.times == UINT64_MAX;
+  point.value = options.value;
+}
+
+void clear() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.points.clear();
+  armed_count().store(0, std::memory_order_relaxed);
+}
+
+bool should_fail(std::string_view name) {
+  if (armed_count().load(std::memory_order_relaxed) == 0) return false;
+  return hit_point(name).has_value();
+}
+
+std::optional<double> fire_value(std::string_view name) {
+  if (armed_count().load(std::memory_order_relaxed) == 0) return std::nullopt;
+  return hit_point(name);
+}
+
+std::uint64_t hits(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.points.find(std::string(name));
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace relap::service::faultpoint

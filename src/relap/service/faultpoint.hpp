@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file faultpoint.hpp
+/// Deterministic fault injection for the serving stack.
+///
+/// A *fault point* is a named hook compiled into a failure-prone code path
+/// (snapshot writes, socket sends, solver dispatch, the broker's clock).
+/// Production behavior is a single relaxed atomic load: with nothing armed,
+/// every hook is a no-op. Tests arm a point by name and the next N hits of
+/// that hook report "fail" (or return an injected value), so every hardened
+/// failure path has a test that actually executes it — torn snapshot
+/// writes, short socket sends, stalled solves and skewed clocks become
+/// reproducible unit tests instead of "cannot happen here" comments.
+///
+/// Arming is global and test-only by design (the registry is process-wide
+/// state guarded by a mutex); `clear()` disarms everything between tests.
+/// Hit counters keep counting whether or not a point is armed, so tests can
+/// also assert that a hook was actually reached.
+///
+/// Catalogue of points wired in this repo (grep for `faultpoint::` to
+/// enumerate): snapshot.open, snapshot.write, snapshot.fsync,
+/// snapshot.rename, server.short_write, broker.solve_stall (value =
+/// stall seconds), broker.clock_skew (value = seconds added to the broker's
+/// steady clock).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace relap::service::faultpoint {
+
+struct ArmOptions {
+  /// Hits of the point that pass through unharmed before it starts firing.
+  std::uint64_t skip = 0;
+  /// Number of hits that fire once armed; UINT64_MAX = every hit (sticky).
+  std::uint64_t times = 1;
+  /// Payload returned by `fire_value` (stall seconds, clock skew...).
+  double value = 0.0;
+};
+
+/// Arms `name`: after `options.skip` hits, the next `options.times` hits of
+/// `should_fail`/`fire_value` fire. Re-arming replaces the previous spec.
+void arm(std::string_view name, ArmOptions options = {});
+
+/// Disarms every point and zeroes all hit counters.
+void clear();
+
+/// True iff this hit of `name` fires. Counts a hit either way. With nothing
+/// armed anywhere this is one relaxed atomic load and no lock.
+[[nodiscard]] bool should_fail(std::string_view name);
+
+/// Like `should_fail`, but a firing hit also yields the armed value.
+[[nodiscard]] std::optional<double> fire_value(std::string_view name);
+
+/// Total hits of `name` since the last `clear()` (armed or not). Zero for
+/// names never hit; hit accounting only happens while some point is armed,
+/// so production runs pay nothing for it.
+[[nodiscard]] std::uint64_t hits(std::string_view name);
+
+}  // namespace relap::service::faultpoint

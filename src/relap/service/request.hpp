@@ -103,9 +103,17 @@ struct SolveRequest {
   double threshold = 0.0;
   /// Scheduling priority: higher values are dispatched earlier in a batch.
   int priority = 0;
-  /// Deadline in caller-chosen units; orders requests *within* a priority
-  /// level (earlier first). It never aborts a running solve — wall-clock
-  /// cancellation would break the bit-identical determinism contract.
+  /// Wall-clock budget in **seconds**, measured from `submit()` (or from
+  /// dispatch for a direct `solve`). Besides ordering requests within a
+  /// priority level (tighter first), the deadline is enforced: a request
+  /// whose budget is already spent when its batch dispatches is rejected
+  /// with code "deadline-exceeded" (deadline 0 deterministically expires),
+  /// and a running solve is cooperatively cancelled once the tightest
+  /// deadline in its dedup group passes. Cancellation never alters a result:
+  /// a cancelled solve is an error and its partial work is discarded, so
+  /// every *completed* reply keeps the bit-identical determinism contract.
+  /// +inf (the default) means no deadline; NaN and negative values are
+  /// rejected at admission with code "malformed".
   double deadline = std::numeric_limits<double>::infinity();
   /// Solver selection, as in algorithms::SolveOptions.
   algorithms::Method method = algorithms::Method::Auto;
@@ -144,6 +152,11 @@ struct Reply {
   bool exact = false;
   /// True iff the front came out of the solved-front memo cache.
   bool cache_hit = false;
+  /// True iff this reply was served by the degrade path: the exact solve ran
+  /// out of deadline and the broker (configured with `degrade_on_deadline`)
+  /// answered with a fast heuristic front instead. Degraded fronts always
+  /// carry `exact == false` and are never cached.
+  bool degraded = false;
   /// Wall seconds spent solving (~0 for cache hits).
   double solve_seconds = 0.0;
   /// FNV-1a hash of the canonical instance form — equal across relabelings

@@ -2,17 +2,23 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "relap/io/instance_format.hpp"
+#include "relap/service/faultpoint.hpp"
 #include "relap/util/hash.hpp"
 #include "relap/util/strings.hpp"
 
@@ -329,7 +335,8 @@ void Session::handle_solve(std::string_view args, std::string& out) {
     }
   }
 
-  const util::Expected<Reply> reply = broker_.solve(request);
+  const util::Expected<Reply> reply =
+      options_.batch_solves ? broker_.solve_batched(request) : broker_.solve(request);
   if (!reply.has_value()) {
     emit_err(out, reply.error());
     return;
@@ -338,6 +345,9 @@ void Session::handle_solve(std::string_view args, std::string& out) {
   out += "ok solve name=";
   out += tokens.front();
   out += reply->cache_hit ? " cache=hit" : " cache=miss";
+  // Degrade-path provenance: only present when the broker answered with the
+  // heuristic fallback, so undegraded responses keep their exact old shape.
+  if (reply->degraded) out += " degraded=1";
   out += reply->exact ? " exact=1" : " exact=0";
   out += " algorithm=" + token_safe(reply->algorithm);
   out += " points=" + std::to_string(reply->front.size());
@@ -395,13 +405,16 @@ bool serve_stream(Broker& broker, std::istream& in, std::ostream& out,
 }
 
 TcpServer::TcpServer(TcpServer&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {
+  stop_.store(other.stop_.load(std::memory_order_acquire), std::memory_order_release);
+}
 
 TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
+    stop_.store(other.stop_.load(std::memory_order_acquire), std::memory_order_release);
   }
   return *this;
 }
@@ -443,11 +456,24 @@ util::Expected<TcpServer> TcpServer::bind_localhost(std::uint16_t port) {
 
 namespace {
 
-/// Writes the whole buffer, retrying short sends. False on a dead peer —
-/// the session then just drains its remaining input.
-bool send_all(int fd, std::string_view bytes) {
+/// How often blocked reads re-check the stop flag and the idle clock.
+constexpr int kPollSliceMs = 50;
+
+/// Writes the whole buffer, retrying short sends (the "server.short_write"
+/// fault point forces 1-byte sends to keep that retry loop tested). With a
+/// write timeout, a peer that stops draining forfeits the connection. False
+/// on a dead or stuck peer — the session then just winds down.
+bool send_all(int fd, std::string_view bytes, int write_timeout_ms) {
   while (!bytes.empty()) {
-    const ssize_t sent = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (write_timeout_ms > 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, write_timeout_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return false;  // timeout or poll failure
+    }
+    const std::size_t chunk =
+        faultpoint::should_fail("server.short_write") ? 1 : bytes.size();
+    const ssize_t sent = ::send(fd, bytes.data(), chunk, MSG_NOSIGNAL);
     if (sent <= 0) {
       if (sent < 0 && errno == EINTR) continue;
       return false;
@@ -459,48 +485,132 @@ bool send_all(int fd, std::string_view bytes) {
 
 }  // namespace
 
-std::size_t TcpServer::serve(Broker& broker, Session::Options options) {
-  std::size_t served = 0;
-  bool shutdown = false;
-  while (!shutdown && fd_ >= 0) {
-    const int conn = ::accept(fd_, nullptr, nullptr);
-    if (conn < 0) {
+void TcpServer::serve_connection(Broker& broker, int conn, const ServerOptions& options) {
+  Session session(broker, options.session);
+  std::string pending;
+  std::string response;
+  char buffer[4096];
+  bool alive = true;
+  bool peer_gone = false;
+  int idle_ms = 0;
+  while (alive) {
+    if (stop_requested()) {
+      // Graceful drain: the in-flight line (if any) already got its reply;
+      // anything further is refused like the broker refuses late work.
+      (void)send_all(conn, "err shutting-down server is draining\n", options.write_timeout_ms);
+      break;
+    }
+    // Block in short slices so the idle reaper and stop requests are honored
+    // without extra machinery.
+    pollfd pfd{conn, POLLIN, 0};
+    const int slice = options.read_timeout_ms > 0
+                          ? std::min(kPollSliceMs, options.read_timeout_ms)
+                          : kPollSliceMs;
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    ++served;
-    Session session(broker, options);
-    std::string pending;
-    std::string response;
-    char buffer[4096];
-    bool alive = true;
-    while (alive) {
-      const ssize_t received = ::recv(conn, buffer, sizeof buffer, 0);
-      if (received < 0 && errno == EINTR) continue;
-      if (received <= 0) break;
-      pending.append(buffer, static_cast<std::size_t>(received));
-      std::size_t start = 0;
-      for (std::size_t newline = pending.find('\n', start);
-           alive && newline != std::string::npos; newline = pending.find('\n', start)) {
-        std::string_view line(pending.data() + start, newline - start);
-        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);  // telnet friendliness
-        response.clear();
-        alive = session.handle_line(line, response);
-        if (!send_all(conn, response)) alive = false;
-        start = newline + 1;
+    if (ready == 0) {
+      idle_ms += slice;
+      if (options.read_timeout_ms > 0 && idle_ms >= options.read_timeout_ms) {
+        (void)send_all(conn, "err timeout connection idle past its read timeout, closing\n",
+                       options.write_timeout_ms);
+        break;
       }
-      pending.erase(0, start);
+      continue;
     }
-    // A final unterminated line still gets served before the peer goes away.
-    if (alive && !pending.empty()) {
+    idle_ms = 0;
+    const ssize_t received = ::recv(conn, buffer, sizeof buffer, 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) {
+      peer_gone = received == 0 && pending.empty();
+      break;
+    }
+    pending.append(buffer, static_cast<std::size_t>(received));
+    std::size_t start = 0;
+    for (std::size_t newline = pending.find('\n', start);
+         alive && newline != std::string::npos; newline = pending.find('\n', start)) {
+      std::string_view line(pending.data() + start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);  // telnet friendliness
       response.clear();
-      (void)session.handle_line(pending, response);
-      (void)send_all(conn, response);
+      alive = session.handle_line(line, response);
+      if (!send_all(conn, response, options.write_timeout_ms)) alive = false;
+      start = newline + 1;
     }
-    ::close(conn);
-    shutdown = session.shutdown_requested();
+    pending.erase(0, start);
   }
+  // A final unterminated line (EOF mid-line) still gets served before the
+  // peer goes away.
+  if (alive && !peer_gone && !stop_requested() && !pending.empty()) {
+    response.clear();
+    (void)session.handle_line(pending, response);
+    (void)send_all(conn, response, options.write_timeout_ms);
+  }
+  ::close(conn);
+  if (session.shutdown_requested()) {
+    // Session-issued `shutdown` drains the whole service: the broker starts
+    // refusing new work and the accept loop winds down.
+    broker.begin_shutdown();
+    request_stop();
+  }
+}
+
+std::size_t TcpServer::serve(Broker& broker, const ServerOptions& options) {
+  struct ConnectionCount {
+    std::mutex mutex;
+    std::size_t active = 0;
+  } connections;
+  std::vector<std::thread> threads;
+  std::size_t served = 0;
+  while (!stop_requested() && fd_ >= 0) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // request_stop()'s socket shutdown lands here
+    }
+    if (stop_requested()) {
+      (void)send_all(conn, "err shutting-down server is draining\n", options.write_timeout_ms);
+      ::close(conn);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(connections.mutex);
+      if (connections.active >= options.max_connections) {
+        // Connection-level load shedding: refuse instead of queueing
+        // unboundedly behind busy sessions.
+        (void)send_all(conn,
+                       "err overloaded connection limit (" +
+                           std::to_string(options.max_connections) + ") reached\n",
+                       options.write_timeout_ms);
+        ::close(conn);
+        continue;
+      }
+      ++connections.active;
+    }
+    ++served;
+    threads.emplace_back([this, &broker, &options, &connections, conn] {
+      serve_connection(broker, conn, options);
+      std::lock_guard<std::mutex> lock(connections.mutex);
+      --connections.active;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
   return served;
+}
+
+std::size_t TcpServer::serve(Broker& broker, Session::Options options) {
+  // Compatibility shape: direct (non-batched) solves, default knobs.
+  ServerOptions server_options;
+  server_options.session = options;
+  return serve(broker, server_options);
+}
+
+void TcpServer::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  // Wake the blocked accept(); the listener stays bound (port() remains
+  // valid) but no further connections are accepted.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace relap::service

@@ -46,10 +46,24 @@
 ///
 /// Transports: `serve_stream` runs a session over any istream/ostream pair
 /// (relap_serve wires stdin/stdout); `TcpServer` accepts loopback-only TCP
-/// connections and serves them sequentially with one fresh session each —
-/// deliberately not concurrent, so wire-visible response order is
-/// deterministic (the broker underneath is what parallelizes a batch).
+/// connections and serves up to `max_connections` of them concurrently, one
+/// thread and one fresh `Session` per connection. Responses within a
+/// connection stay strictly ordered; across connections the broker's shared
+/// batch queue (`Broker::solve_batched`) is what coalesces, dedupes and
+/// priority-orders the actual solving — so concurrent serving returns
+/// bit-identical fronts to sequential serving.
+///
+/// Overload behavior on the TCP front (every limit answers with a
+/// structured `err` line, never a hang):
+///   - connections past `max_connections`: `err overloaded ...`, closed.
+///   - a connection idle past `read_timeout_ms`: `err timeout ...`, reaped.
+///   - a peer not draining its responses past `write_timeout_ms`: closed.
+///   - lines arriving after a stop request: `err shutting-down ...`.
+/// A `shutdown` command (or `request_stop()`, e.g. from a SIGTERM handler)
+/// stops the accept loop, lets in-flight lines finish, and — for the
+/// session-issued `shutdown` — puts the broker into its graceful drain.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -66,6 +80,11 @@ struct SessionOptions {
   std::size_t max_stage_records = 4096;
   std::size_t max_processor_records = 4096;
   std::size_t max_instances = 1024;
+  /// Route `solve` through the broker's shared submit/drain batch queue
+  /// (`Broker::solve_batched`) instead of a direct `solve`: concurrent
+  /// sessions then coalesce into one deduped, priority-ordered batch. The
+  /// concurrent TCP front turns this on by default.
+  bool batch_solves = false;
 };
 
 /// One protocol session: feeds lines in, accumulates response lines.
@@ -113,8 +132,25 @@ class Session {
 bool serve_stream(Broker& broker, std::istream& in, std::ostream& out,
                   Session::Options options = {});
 
-/// A loopback-only TCP front. Connections are accepted and served one at a
-/// time, each with a fresh `Session`, until some session issues `shutdown`.
+/// Knobs of the concurrent TCP front.
+struct ServerOptions {
+  ServerOptions() { session.batch_solves = true; }
+
+  SessionOptions session;
+  /// Concurrent connection cap; connections past it are refused with
+  /// `err overloaded` and closed.
+  std::size_t max_connections = 8;
+  /// Reap a connection idle for this long (0 = never). The reaped peer gets
+  /// one final `err timeout` line.
+  int read_timeout_ms = 0;
+  /// Give up on a peer that does not drain its responses for this long
+  /// (0 = wait forever).
+  int write_timeout_ms = 0;
+};
+
+/// A loopback-only TCP front serving up to `max_connections` concurrent
+/// sessions, until some session issues `shutdown` or `request_stop()` is
+/// called.
 class TcpServer {
  public:
   TcpServer() = default;
@@ -131,13 +167,30 @@ class TcpServer {
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool bound() const { return fd_ >= 0; }
 
-  /// Accept loop: serves sessions until one requests shutdown (or the
-  /// socket errors out). Returns the number of sessions served.
+  /// Accept loop: serves sessions concurrently until one requests shutdown,
+  /// `request_stop()` is called, or the socket errors out. Returns the
+  /// number of connections accepted and served (refused-overloaded ones not
+  /// counted). All connection threads are joined before returning.
+  std::size_t serve(Broker& broker, const ServerOptions& options);
+
+  /// Compatibility overload: per-session options only, direct (non-batched)
+  /// solves, default concurrency knobs.
   std::size_t serve(Broker& broker, Session::Options options = {});
 
+  /// Asks a running `serve` to wind down: stop accepting, answer further
+  /// lines on live connections with `err shutting-down`, and return once
+  /// in-flight lines finish. Safe to call from a signal-triggered thread.
+  void request_stop();
+
  private:
+  void serve_connection(Broker& broker, int conn, const ServerOptions& options);
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace relap::service

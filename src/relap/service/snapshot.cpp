@@ -1,12 +1,18 @@
 #include "relap/service/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "relap/service/faultpoint.hpp"
 #include "relap/util/bytes.hpp"
 #include "relap/util/hash.hpp"
 
@@ -244,25 +250,71 @@ util::Expected<std::vector<FrontCache::ExportedEntry>> decode_snapshot(std::stri
   return entries;
 }
 
+namespace {
+
+/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(written));
+  }
+  return true;
+}
+
+/// Directory holding `path` ("." for a bare filename) — the entry that must
+/// be fsynced for a rename into it to survive a crash.
+std::string parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+}  // namespace
+
 util::Expected<SnapshotStats> save_snapshot(const FrontCache& cache, const std::string& path) {
   const std::vector<FrontCache::ExportedEntry> entries = cache.export_entries();
   const std::string bytes = encode_snapshot(entries);
 
-  // Crash-safe: a half-written file can never shadow a good snapshot.
+  // Crash-safe commit: write <path>.tmp, fsync its *data* to disk, rename
+  // over the destination, then fsync the containing directory so the rename
+  // itself is durable. Without the fsyncs a crash shortly after "success"
+  // can leave a zero-length or torn file under the committed name — the
+  // rename persists before the data does. Every step has a fault point
+  // (service/faultpoint.hpp) so the failure paths are actually tested.
   const std::string temp = path + ".tmp";
-  std::FILE* file = std::fopen(temp.c_str(), "wb");
-  if (file == nullptr) {
+  const int fd = faultpoint::should_fail("snapshot.open")
+                     ? -1
+                     : ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return util::make_error("io", "cannot open '" + temp + "' for writing");
   }
-  const bool written = std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
-  const bool closed = std::fclose(file) == 0;
-  if (!written || !closed) {
+  bool ok = !faultpoint::should_fail("snapshot.write") && write_all(fd, bytes);
+  if (ok && (faultpoint::should_fail("snapshot.fsync") || ::fsync(fd) != 0)) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
     std::remove(temp.c_str());
     return util::make_error("io", "write to '" + temp + "' failed");
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+  if (faultpoint::should_fail("snapshot.rename") ||
+      std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
     return util::make_error("io", "cannot rename '" + temp + "' to '" + path + "'");
+  }
+  // Directory fsync failures are reported, not rolled back: the data file is
+  // already committed by name, just not yet guaranteed durable.
+  const std::string dir = parent_directory(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return util::make_error("io", "cannot open directory '" + dir + "' to fsync the rename");
+  }
+  const bool dir_synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  if (!dir_synced) {
+    return util::make_error("io", "fsync of directory '" + dir + "' failed");
   }
   return SnapshotStats{entries.size(), bytes.size()};
 }

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "relap/algorithms/annealing.hpp"
@@ -389,6 +391,59 @@ TEST(Determinism, BrokerWarmFromSnapshotEqualsColdAcrossThreadCounts) {
         << "threads=" << threads;
   }
   std::remove(path.c_str());
+}
+
+TEST(Determinism, BrokerConcurrentBatchedCallersEqualColdAcrossThreadCounts) {
+  // The concurrent-serving extension of the contract: callers racing through
+  // the shared batch queue (`solve_batched`, the path every TCP connection
+  // takes) receive fronts bit-identical to a single-threaded direct cold
+  // solve — at every pool size, regardless of which caller becomes the
+  // queue's drainer.
+  const auto pipe = gen::random_uniform_pipeline(4, 171);
+  gen::PlatformGenOptions gen_options;
+  gen_options.processors = 5;
+  const auto plat = gen::random_fully_heterogeneous(gen_options, 172);
+
+  service::SolveRequest request;
+  request.instance = service::InstanceData::from(pipe, plat);
+  request.objective = service::Objective::ParetoFront;
+
+  std::vector<algorithms::ParetoSolution> reference;
+  {
+    exec::ThreadPool pool(1);
+    service::BrokerOptions broker_options;
+    broker_options.pool = &pool;
+    service::Broker broker(broker_options);
+    const auto cold = broker.solve(request);
+    ASSERT_TRUE(cold.has_value());
+    reference = cold->front;
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    exec::ThreadPool pool(threads);
+    service::BrokerOptions broker_options;
+    broker_options.pool = &pool;
+    service::Broker broker(broker_options);  // fresh cache per thread count
+
+    constexpr std::size_t kCallers = 4;
+    std::vector<std::optional<util::Expected<service::Reply>>> replies(kCallers);
+    {
+      std::vector<std::thread> callers;
+      for (std::size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] { replies[c] = broker.solve_batched(request); });
+      }
+      for (std::thread& caller : callers) caller.join();
+    }
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      ASSERT_TRUE(replies[c].has_value() && replies[c]->has_value())
+          << "threads=" << threads << " caller=" << c;
+      expect_same_front((*replies[c])->front, reference, threads);
+      EXPECT_EQ(service::front_checksum((*replies[c])->front), service::front_checksum(reference))
+          << "threads=" << threads << " caller=" << c;
+    }
+    // Identical concurrent presentations coalesce onto one actual solve.
+    EXPECT_EQ(broker.metrics().solves_total.value(), 1U) << "threads=" << threads;
+  }
 }
 
 TEST(Determinism, MultiStartAnnealingAcrossThreadCounts) {

@@ -10,9 +10,12 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "relap/gen/pipelines.hpp"
@@ -422,6 +425,155 @@ TEST(FrontCache, HashCollisionsResolveByFullKey) {
   EXPECT_EQ(left->algorithm, "left");
   EXPECT_EQ(right->algorithm, "right");
   EXPECT_EQ(cache.find(42, "missing"), nullptr);
+}
+
+// --- Overload hardening: deadlines, shedding, graceful drain. ---------------
+
+TEST(Broker, DeadlineSemanticsPinned) {
+  Broker broker;
+
+  // Deadlines are seconds of wall-clock budget. NaN and negative values are
+  // malformed — rejected at admission, never "expired".
+  SolveRequest request = valid_request();
+  request.deadline = std::numeric_limits<double>::quiet_NaN();
+  expect_error(broker, request, "malformed");
+  request.deadline = -1.0;
+  expect_error(broker, request, "malformed");
+  EXPECT_EQ(broker.metrics().deadline_exceeded_total.value(), 0U);
+
+  // A zero budget is deterministically spent at dispatch: rejected before
+  // any solving happens.
+  request = valid_request();
+  request.deadline = 0.0;
+  expect_error(broker, request, "deadline-exceeded");
+  EXPECT_EQ(broker.metrics().deadline_exceeded_total.value(), 1U);
+  EXPECT_EQ(broker.metrics().solves_total.value(), 0U);
+
+  // The default (+inf) never expires.
+  request.deadline = kInf;
+  const auto reply = broker.solve(request);
+  ASSERT_TRUE(reply.has_value());
+}
+
+TEST(Broker, QueuedDeadlineEnforcedAtDequeue) {
+  Broker broker;
+  SolveRequest request = valid_request();
+  request.deadline = 0.0;
+  const std::uint64_t expired = broker.submit(request);
+  request.deadline = 3600.0;  // queue waits are microseconds here
+  const std::uint64_t alive = broker.submit(request);
+  const auto drained = broker.drain();
+  ASSERT_EQ(drained.size(), 2U);
+  EXPECT_EQ(drained[0].id, expired);
+  ASSERT_FALSE(drained[0].reply.has_value());
+  EXPECT_EQ(drained[0].reply.error().code, "deadline-exceeded");
+  EXPECT_EQ(drained[1].id, alive);
+  EXPECT_TRUE(drained[1].reply.has_value());
+}
+
+TEST(Broker, WatermarkSheddingDropsLowestPriorityFirst) {
+  BrokerOptions options;
+  options.queue_high_watermark = 4;
+  options.queue_low_watermark = 2;
+  Broker broker(options);
+
+  std::vector<std::uint64_t> ids;
+  for (int p = 0; p < 5; ++p) {
+    SolveRequest request = valid_request();
+    request.priority = p;  // later submissions are *more* important
+    ids.push_back(broker.submit(request));
+  }
+  // The fifth submit crossed the high watermark: shed down to the low one,
+  // lowest priorities first, so the two most important tickets survive.
+  EXPECT_EQ(broker.pending(), 2U);
+  EXPECT_EQ(broker.metrics().shed_total.value(), 3U);
+
+  const auto drained = broker.drain();
+  ASSERT_EQ(drained.size(), 5U);
+  for (std::size_t i = 0; i < drained.size(); ++i) EXPECT_EQ(drained[i].id, ids[i]);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_FALSE(drained[i].reply.has_value()) << "priority " << i << " should be shed";
+    EXPECT_EQ(drained[i].reply.error().code, "overloaded");
+  }
+  for (std::size_t i = 3; i < 5; ++i) {
+    EXPECT_TRUE(drained[i].reply.has_value()) << "priority " << i << " should survive";
+  }
+}
+
+TEST(Broker, GracefulShutdownRefusesNewWorkButDrainsQueued) {
+  Broker broker;
+  SolveRequest request = valid_request();
+  const std::uint64_t queued = broker.submit(request);
+
+  broker.begin_shutdown();
+  EXPECT_TRUE(broker.shutting_down());
+
+  // New work refuses with "shutting-down" on every entry point...
+  expect_error(broker, request, "shutting-down");
+  ASSERT_FALSE(broker.solve_batched(request).has_value());
+  EXPECT_EQ(broker.solve_batched(request).error().code, "shutting-down");
+  const std::uint64_t late = broker.submit(request);
+
+  // ...while the pre-shutdown ticket still drains to a real reply.
+  const auto drained = broker.drain();
+  ASSERT_EQ(drained.size(), 2U);
+  EXPECT_EQ(drained[0].id, queued);
+  EXPECT_TRUE(drained[0].reply.has_value());
+  EXPECT_EQ(drained[1].id, late);
+  ASSERT_FALSE(drained[1].reply.has_value());
+  EXPECT_EQ(drained[1].reply.error().code, "shutting-down");
+}
+
+// --- solve_batched: the concurrent sessions' entry point. -------------------
+
+TEST(Broker, SolveBatchedMatchesDirectSolveBitIdentically) {
+  Broker direct_broker;
+  Broker batched_broker;
+  SolveRequest request = valid_request();
+  request.objective = Objective::ParetoFront;
+  const auto direct = direct_broker.solve(request);
+  const auto batched = batched_broker.solve_batched(request);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(batched.has_value());
+  ASSERT_EQ(direct->front.size(), batched->front.size());
+  for (std::size_t i = 0; i < direct->front.size(); ++i) {
+    EXPECT_TRUE(bits_equal(direct->front[i].latency, batched->front[i].latency));
+    EXPECT_TRUE(
+        bits_equal(direct->front[i].failure_probability, batched->front[i].failure_probability));
+  }
+  EXPECT_EQ(batched_broker.pending(), 0U);
+  EXPECT_TRUE(batched_broker.drain().empty());
+}
+
+TEST(Broker, ConcurrentSolveBatchedCoalescesOntoOneSolve) {
+  Broker broker;
+  const InstanceData base = small_instance(31);
+  constexpr std::size_t kSessions = 8;
+  std::vector<std::optional<util::Expected<Reply>>> replies(kSessions);
+  {
+    std::vector<std::thread> sessions;
+    sessions.reserve(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      sessions.emplace_back([&, s] {
+        SolveRequest request;
+        // Different presentations of one instance: they canonicalize onto
+        // one key, so whichever session drains first solves for everyone.
+        request.instance = s == 0 ? base : shuffled(base, 4000 + s);
+        request.objective = Objective::ParetoFront;
+        replies[s].emplace(broker.solve_batched(request));
+      });
+    }
+    for (std::thread& session : sessions) session.join();
+  }
+  ASSERT_TRUE(replies[0]->has_value()) << replies[0]->error().to_string();
+  const std::uint64_t checksum = front_checksum(replies[0]->value().front);
+  for (std::size_t s = 1; s < kSessions; ++s) {
+    ASSERT_TRUE(replies[s]->has_value()) << replies[s]->error().to_string();
+    EXPECT_EQ(front_checksum(replies[s]->value().front), checksum);
+  }
+  // Dedup/caching collapse all eight sessions onto exactly one solve.
+  EXPECT_EQ(broker.metrics().solves_total.value(), 1U);
+  EXPECT_EQ(broker.metrics().requests_total.value(), kSessions);
 }
 
 TEST(FrontCache, ReinsertRefreshesRecencyKeepsFirstValue) {

@@ -328,5 +328,109 @@ TEST(Server, TcpLoopbackServesSessionsUntilShutdown) {
   EXPECT_EQ(sessions, 2U);
 }
 
+// --- Concurrent serving. ------------------------------------------------------
+
+/// The `front=0x...` checksum field of a solve response — the determinism
+/// witness. (Never compare cache=hit/miss across connections: which tenant
+/// leads a deduped batch is timing-dependent; the front bits are not.)
+std::string front_of(const std::string& response) {
+  const std::size_t pos = response.find("front=");
+  EXPECT_NE(pos, std::string::npos) << response;
+  if (pos == std::string::npos) return {};
+  return response.substr(pos, response.find(' ', pos) - pos);
+}
+
+/// One whole client session: upload seed `seed` as `name`, solve, quit.
+/// Returns the full response text.
+std::string run_client_session(std::uint16_t port, const std::string& name,
+                               std::uint64_t seed) {
+  Client client(port);
+  if (!client.connected()) return {};
+  std::string script;
+  for (const std::string& line : upload_lines(name, seed)) script += line + '\n';
+  script += "solve " + name + " obj=pareto\nquit\n";
+  client.send_text(script);
+  return client.read_all();
+}
+
+TEST(Server, TcpConcurrentIdenticalClientsCoalesceOntoOneSolve) {
+  Broker broker;
+  auto bound = TcpServer::bind_localhost(0);
+  ASSERT_TRUE(bound.has_value()) << bound.error().to_string();
+  TcpServer server = std::move(bound.value());
+  std::thread accept_thread([&] { (void)server.serve(broker, ServerOptions{}); });
+
+  // Two tenants present the identical instance under different names at the
+  // same time: the shared batch queue (or the memo cache, if one finishes
+  // first) makes sure the broker only ever solves it once.
+  std::vector<std::string> responses(2);
+  {
+    std::thread first([&] { responses[0] = run_client_session(server.port(), "alpha", 5); });
+    std::thread second([&] { responses[1] = run_client_session(server.port(), "beta", 5); });
+    first.join();
+    second.join();
+  }
+  server.request_stop();
+  accept_thread.join();
+
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("ok solve"), std::string::npos) << response;
+  }
+  EXPECT_EQ(front_of(responses[0]), front_of(responses[1]));
+  EXPECT_EQ(broker.metrics().solves_total.value(), 1U);
+  EXPECT_EQ(broker.metrics().requests_total.value(), 2U);
+}
+
+TEST(Server, TcpConcurrentServingIsBitIdenticalToSequentialAcrossPoolSizes) {
+  constexpr std::uint64_t kSeeds[] = {11, 12, 13, 14};
+
+  // Sequential reference: one scripted session per seed on a fresh
+  // single-threaded broker — the canonical answers.
+  std::vector<std::string> reference;
+  {
+    exec::ThreadPool pool(1);
+    BrokerOptions options;
+    options.pool = &pool;
+    Broker broker(options);
+    Session session(broker);
+    for (const std::uint64_t seed : kSeeds) {
+      const std::string name = "job" + std::to_string(seed);
+      upload(session, name, seed);
+      reference.push_back(front_of(feed(session, "solve " + name + " obj=pareto")));
+    }
+  }
+
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    exec::ThreadPool pool(pool_size);
+    BrokerOptions options;
+    options.pool = &pool;
+    Broker broker(options);
+    auto bound = TcpServer::bind_localhost(0);
+    ASSERT_TRUE(bound.has_value()) << bound.error().to_string();
+    TcpServer server = std::move(bound.value());
+    std::thread accept_thread([&] { (void)server.serve(broker, ServerOptions{}); });
+
+    // All seeds solved concurrently, one connection each.
+    std::vector<std::string> responses(std::size(kSeeds));
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t i = 0; i < std::size(kSeeds); ++i) {
+        clients.emplace_back([&, i] {
+          responses[i] =
+              run_client_session(server.port(), "job" + std::to_string(kSeeds[i]), kSeeds[i]);
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    }
+    server.request_stop();
+    accept_thread.join();
+
+    for (std::size_t i = 0; i < std::size(kSeeds); ++i) {
+      EXPECT_EQ(front_of(responses[i]), reference[i])
+          << "pool=" << pool_size << " seed=" << kSeeds[i];
+    }
+  }
+}
+
 }  // namespace
 }  // namespace relap::service
