@@ -8,8 +8,9 @@
 // and load/decode, whose entries/sec bound how fast a restarted server
 // returns to warm.
 //
-// Emits BENCH_serving.json: warm in-process and wire requests/sec plus
-// snapshot save/load entries/sec (gated by compare_bench.py) and the
+// Emits BENCH_serving.json: warm in-process and wire requests/sec, snapshot
+// save/load entries/sec, and miss-solve requests/sec with the write-ahead
+// journal off vs on (all gated by compare_bench.py) plus the
 // label-independent front checksum of the served fronts (warn-compared).
 
 #include <arpa/inet.h>
@@ -347,6 +348,51 @@ void print_tables() {
   const double save_per_sec = static_cast<double>(entries) / save_elapsed;
   const double load_per_sec = static_cast<double>(entries) / load_elapsed;
 
+  // Journal append overhead: a miss-heavy workload (every solve is a cache
+  // miss, so every solve appends one group-committed record) with the
+  // write-ahead journal detached vs attached. The gap is the full price of
+  // durability at fsync_every=8: record encoding, the append write, and an
+  // amortized fsync every 8th solve.
+  constexpr std::size_t kJournalSolves = 16;
+  const std::string journal_path = "BENCH_serving.journal.tmp";
+  double journal_off_elapsed = std::numeric_limits<double>::infinity();
+  double journal_on_elapsed = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Fresh seeds each rep keep every solve a miss in its fresh broker.
+    std::vector<service::SolveRequest> misses;
+    for (std::size_t i = 0; i < kJournalSolves; ++i) {
+      misses.push_back(base_request(90'000 + static_cast<std::uint64_t>(rep) * 1'000 + i * 13));
+    }
+
+    {
+      service::Broker cold;
+      const auto start = std::chrono::steady_clock::now();
+      for (const service::SolveRequest& request : misses) {
+        if (!cold.solve(request).has_value()) std::exit(1);
+      }
+      journal_off_elapsed = std::min(journal_off_elapsed, seconds_since(start));
+    }
+    {
+      std::remove(journal_path.c_str());
+      service::Broker cold;
+      service::JournalOptions journal_options;
+      journal_options.fsync_every = 8;
+      if (!cold.recover("", journal_path, journal_options).has_value()) std::exit(1);
+      const auto start = std::chrono::steady_clock::now();
+      for (const service::SolveRequest& request : misses) {
+        if (!cold.solve(request).has_value()) std::exit(1);
+      }
+      journal_on_elapsed = std::min(journal_on_elapsed, seconds_since(start));
+      if (cold.journal_stats().records_appended != kJournalSolves) {
+        std::fprintf(stderr, "journal pass lost appends\n");
+        std::exit(1);
+      }
+    }
+  }
+  std::remove(journal_path.c_str());
+  const double journal_off_per_sec = static_cast<double>(kJournalSolves) / journal_off_elapsed;
+  const double journal_on_per_sec = static_cast<double>(kJournalSolves) / journal_on_elapsed;
+
   std::printf("%-18s %9s %12s %16s\n", "path", "requests", "time", "requests/s");
   std::printf("%-18s %9zu %11.3fms %16.0f\n", "warm in-process", requests.size(),
               inproc_elapsed * 1e3, inproc_per_sec);
@@ -366,6 +412,12 @@ void print_tables() {
   std::printf("\nsnapshot: %zu entries, %zu bytes   save %.0f entries/s   load %.0f entries/s\n",
               entries, bytes, save_per_sec, load_per_sec);
 
+  std::printf("\njournal append overhead (%zu miss solves, fsync every 8):\n", kJournalSolves);
+  std::printf("%-18s %16s\n", "journal", "requests/s");
+  std::printf("%-18s %16.0f\n", "off", journal_off_per_sec);
+  std::printf("%-18s %16.0f\n", "on", journal_on_per_sec);
+  std::printf("on/off: %.3fx\n", journal_on_per_sec / journal_off_per_sec);
+
   report.field("warm_inproc_requests_per_sec", inproc_per_sec)
       .field("warm_wire_requests_per_sec", wire_per_sec)
       .field("wire_over_inproc", wire_per_sec / inproc_per_sec);
@@ -378,6 +430,9 @@ void print_tables() {
       .field("snapshot_bytes", static_cast<std::uint64_t>(bytes))
       .field("snapshot_save_entries_per_sec", save_per_sec)
       .field("snapshot_load_entries_per_sec", load_per_sec)
+      .field("journal_off_requests_per_sec", journal_off_per_sec)
+      .field("journal_on_requests_per_sec", journal_on_per_sec)
+      .field("journal_on_over_off", journal_on_per_sec / journal_off_per_sec)
       .field("fronts_checksum", fronts.hex());
   report.write();
 }

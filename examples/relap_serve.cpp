@@ -2,7 +2,8 @@
 // newline-delimited line protocol of service/server.hpp over stdin/stdout
 // (default) or a loopback TCP socket.
 //
-//   $ ./relap_serve [--stdio] [--port N] [--snapshot PATH]
+//   $ ./relap_serve [--stdio] [--port N] [--snapshot PATH] [--journal PATH]
+//                   [--journal-fsync-every N] [--snapshot-interval-s N]
 //                   [--cache-entries N] [--max-stages N] [--max-processors N]
 //                   [--max-connections N] [--read-timeout-ms N]
 //                   [--write-timeout-ms N] [--queue-high-watermark N]
@@ -13,6 +14,14 @@
 //                      the chosen port is printed to stderr)
 //   --snapshot PATH    warm-start the memo cache from PATH if it exists, and
 //                      save the cache back to PATH on clean exit
+//   --journal PATH     write-ahead journal: every cache-miss solve appends a
+//                      checksummed record; on startup the journal is replayed
+//                      on top of the snapshot (torn tail truncated), so a
+//                      kill -9 loses at most the unsynced group-commit suffix
+//   --journal-fsync-every N  group-commit interval: fsync the journal every
+//                            N records (default 1 = every record; 0 = never)
+//   --snapshot-interval-s N  autosave the snapshot (and compact the journal)
+//                            every N seconds while serving (0 = only on exit)
 //   --cache-entries N  memo-cache capacity (entries)
 //   --max-stages N     admission cap on pipeline stages
 //   --max-processors N admission cap on platform processors
@@ -37,12 +46,16 @@
 // (CI drives one end-to-end) can assert on the counters without mixing
 // diagnostics into the protocol stream on stdout.
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "relap/service/broker.hpp"
 #include "relap/service/server.hpp"
@@ -52,9 +65,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--stdio] [--port N] [--snapshot PATH] [--cache-entries N]\n"
-               "          [--max-stages N] [--max-processors N] [--max-connections N]\n"
-               "          [--read-timeout-ms N] [--write-timeout-ms N]\n"
+               "usage: %s [--stdio] [--port N] [--snapshot PATH] [--journal PATH]\n"
+               "          [--journal-fsync-every N] [--snapshot-interval-s N]\n"
+               "          [--cache-entries N] [--max-stages N] [--max-processors N]\n"
+               "          [--max-connections N] [--read-timeout-ms N] [--write-timeout-ms N]\n"
                "          [--queue-high-watermark N] [--queue-low-watermark N] [--degrade]\n",
                argv0);
   return 2;
@@ -77,6 +91,9 @@ int main(int argc, char** argv) {
   bool use_tcp = false;
   std::size_t port = 0;
   std::string snapshot_path;
+  std::string journal_path;
+  service::JournalOptions journal_options;
+  std::size_t snapshot_interval_s = 0;
   service::BrokerOptions options;
   service::ServerOptions server_options;
 
@@ -96,6 +113,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--snapshot") {
       if (i + 1 >= argc) return usage(argv[0]);
       snapshot_path = argv[++i];
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      journal_path = argv[++i];
+    } else if (arg == "--journal-fsync-every") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value) return usage(argv[0]);
+      journal_options.fsync_every = *value;
+    } else if (arg == "--snapshot-interval-s") {
+      const std::optional<std::size_t> value = next_size();
+      if (!value || *value > 86'400) return usage(argv[0]);
+      snapshot_interval_s = *value;
     } else if (arg == "--cache-entries") {
       const std::optional<std::size_t> value = next_size();
       if (!value || *value == 0) return usage(argv[0]);
@@ -137,21 +165,52 @@ int main(int argc, char** argv) {
 
   service::Broker broker(options);
 
-  if (!snapshot_path.empty()) {
-    const auto loaded = broker.load_snapshot(snapshot_path);
-    if (loaded.has_value()) {
-      std::fprintf(stderr, "relap_serve: warm start: %zu entries from %s\n", loaded->entries,
-                   snapshot_path.c_str());
-    } else if (loaded.error().code == "io") {
-      std::fprintf(stderr, "relap_serve: cold start (no snapshot at %s)\n",
-                   snapshot_path.c_str());
-    } else {
-      // A present-but-unusable snapshot is a real problem: refusing to run
-      // beats silently serving cold and overwriting it on exit.
-      std::fprintf(stderr, "relap_serve: snapshot rejected: %s\n",
-                   loaded.error().to_string().c_str());
+  if (!snapshot_path.empty() || !journal_path.empty()) {
+    // Startup recovery: snapshot (if present) + journal replay. A rejected
+    // snapshot or a corrupt journal is a real problem: refusing to run
+    // beats silently serving cold and overwriting the evidence on exit.
+    const auto recovered = broker.recover(snapshot_path, journal_path, journal_options);
+    if (!recovered.has_value()) {
+      std::fprintf(stderr, "relap_serve: recovery failed: %s\n",
+                   recovered.error().to_string().c_str());
       return 1;
     }
+    if (recovered->snapshot_loaded || recovered->journal_records > 0) {
+      std::fprintf(stderr,
+                   "relap_serve: warm start: %zu snapshot entries + %llu journal records "
+                   "(%llu torn discarded) in %.3fs\n",
+                   recovered->snapshot_entries,
+                   static_cast<unsigned long long>(recovered->journal_records),
+                   static_cast<unsigned long long>(recovered->torn_records),
+                   recovered->seconds);
+    } else {
+      std::fprintf(stderr, "relap_serve: cold start (nothing to recover)\n");
+    }
+  }
+
+  // Periodic autosave: snapshot + journal compaction on a timer, so a crash
+  // replays a short journal instead of the whole uptime's worth of solves.
+  std::thread autosave;
+  std::mutex autosave_mutex;
+  std::condition_variable autosave_cv;
+  bool autosave_stop = false;
+  if (snapshot_interval_s > 0 && !snapshot_path.empty()) {
+    autosave = std::thread([&] {
+      std::unique_lock<std::mutex> lock(autosave_mutex);
+      while (!autosave_cv.wait_for(lock, std::chrono::seconds(snapshot_interval_s),
+                                   [&] { return autosave_stop; })) {
+        lock.unlock();
+        const auto saved = broker.save_snapshot(snapshot_path);
+        if (saved.has_value()) {
+          std::fprintf(stderr, "relap_serve: autosaved %zu entries to %s\n", saved->entries,
+                       snapshot_path.c_str());
+        } else {
+          std::fprintf(stderr, "relap_serve: autosave failed: %s\n",
+                       saved.error().to_string().c_str());
+        }
+        lock.lock();
+      }
+    });
   }
 
   if (use_tcp) {
@@ -177,6 +236,15 @@ int main(int argc, char** argv) {
     (void)service::serve_stream(broker, std::cin, std::cout);
   }
 
+  if (autosave.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(autosave_mutex);
+      autosave_stop = true;
+    }
+    autosave_cv.notify_all();
+    autosave.join();
+  }
+
   if (!snapshot_path.empty()) {
     const auto saved = broker.save_snapshot(snapshot_path);
     if (saved.has_value()) {
@@ -186,6 +254,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "relap_serve: snapshot save failed: %s\n",
                    saved.error().to_string().c_str());
       return 1;
+    }
+  } else if (!journal_path.empty()) {
+    // No snapshot to compact into: make the journal tail durable instead.
+    const auto synced = broker.sync_journal();
+    if (!synced.has_value()) {
+      std::fprintf(stderr, "relap_serve: journal sync failed: %s\n",
+                   synced.error().to_string().c_str());
     }
   }
 

@@ -1,5 +1,7 @@
 #include "relap/service/broker.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -348,6 +350,7 @@ std::vector<util::Expected<Reply>> Broker::solve_batch_timed(
       }
       report = std::make_shared<const algorithms::FrontReport>(std::move(solved).take());
       cache_.insert(group.hash, lead.full_key, report);
+      journal_insert(group.hash, lead.full_key, report);
     }
     staged[lead_index] = make_reply(lead, *report, lead_hit, lead_spans);
 
@@ -520,6 +523,65 @@ void Broker::begin_shutdown() {
   queue_cv_.notify_all();
 }
 
+void Broker::journal_insert(std::uint64_t hash, const std::string& key,
+                            const std::shared_ptr<const algorithms::FrontReport>& value) {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  if (!journal_) return;
+  // Append failures never fail the reply: the solve succeeded and the
+  // journal's append_errors counter (metrics_json) surfaces the degraded
+  // durability.
+  (void)journal_->append(FrontCache::ExportedEntry{hash, key, value});
+}
+
+bool Broker::journal_enabled() const {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return journal_ != nullptr;
+}
+
+JournalStats Broker::journal_stats() const {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return journal_ ? journal_->stats() : JournalStats{};
+}
+
+util::Expected<JournalStats> Broker::sync_journal() {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  if (!journal_) return JournalStats{};
+  return journal_->sync();
+}
+
+util::Expected<Broker::RecoveryStats> Broker::recover(const std::string& snapshot_path,
+                                                      const std::string& journal_path,
+                                                      JournalOptions journal_options) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  if (!snapshot_path.empty() && ::access(snapshot_path.c_str(), F_OK) == 0) {
+    util::Expected<SnapshotStats> loaded = load_snapshot(snapshot_path);
+    if (!loaded.has_value()) return loaded.error();
+    stats.snapshot_entries = loaded->entries;
+    stats.snapshot_loaded = true;
+  }
+  if (!journal_path.empty()) {
+    util::Expected<Journal::Opened> opened = Journal::open(journal_path, journal_options);
+    if (!opened.has_value()) return opened.error();
+    // Replay in append order: `insert` keeps the first value for a repeated
+    // key but refreshes its recency, so snapshot entries overlaid with
+    // journal records reproduce the never-crashed cache's contents and
+    // per-shard LRU order.
+    for (FrontCache::ExportedEntry& entry : opened.value().replayed.entries) {
+      cache_.insert(entry.hash, std::move(entry.key), std::move(entry.value));
+    }
+    stats.journal_records = opened.value().replayed.entries.size();
+    stats.torn_records = opened.value().replayed.torn_records;
+    metrics_.journal_records_replayed.add(stats.journal_records);
+    metrics_.journal_records_discarded_torn.add(stats.torn_records);
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    journal_ = std::move(opened.value().journal);
+  }
+  stats.seconds = elapsed_seconds(start);
+  metrics_.recovery_seconds.set(stats.seconds);
+  return stats;
+}
+
 std::string Broker::metrics_json() const {
   const CacheStats stats = cache_.stats();
   char cache_json[256];
@@ -530,16 +592,42 @@ std::string Broker::metrics_json() const {
                 static_cast<unsigned long long>(stats.misses),
                 static_cast<unsigned long long>(stats.evictions), stats.entries,
                 stats.hit_rate());
-  // metrics_.to_json() is a non-empty object; splice the cache section in
-  // front of its first field.
-  return cache_json + metrics_.to_json().substr(1);
+  const JournalStats journal = journal_stats();
+  char journal_json[320];
+  std::snprintf(journal_json, sizeof journal_json,
+                "\"journal\":{\"enabled\":%s,\"records_appended\":%llu,\"fsyncs\":%llu,"
+                "\"rotations\":%llu,\"append_errors\":%llu,\"file_bytes\":%llu,"
+                "\"synced_bytes\":%llu},\"uptime_seconds\":%.17g,",
+                journal_enabled() ? "true" : "false",
+                static_cast<unsigned long long>(journal.records_appended),
+                static_cast<unsigned long long>(journal.fsyncs),
+                static_cast<unsigned long long>(journal.rotations),
+                static_cast<unsigned long long>(journal.append_errors),
+                static_cast<unsigned long long>(journal.file_bytes),
+                static_cast<unsigned long long>(journal.synced_bytes),
+                elapsed_seconds(started_));
+  // metrics_.to_json() is a non-empty object; splice the cache and journal
+  // sections in front of its first field.
+  return cache_json + (journal_json + metrics_.to_json().substr(1));
 }
 
-util::Expected<SnapshotStats> Broker::save_snapshot(const std::string& path) const {
+util::Expected<SnapshotStats> Broker::save_snapshot(const std::string& path) {
+  // Compaction: freeze journal appends across export + save + rotate so a
+  // concurrent solve's record cannot land in the old journal after the
+  // export missed it (see journal_mutex_ in broker.hpp).
+  std::lock_guard<std::mutex> lock(journal_mutex_);
   util::Expected<SnapshotStats> saved = service::save_snapshot(cache_, path);
-  if (saved.has_value()) {
-    metrics_.snapshot_saves.add(1);
-    metrics_.snapshot_entries_saved.add(saved->entries);
+  if (!saved.has_value()) return saved;
+  metrics_.snapshot_saves.add(1);
+  metrics_.snapshot_entries_saved.add(saved->entries);
+  if (journal_) {
+    util::Expected<JournalStats> rotated = journal_->rotate();
+    if (!rotated.has_value()) {
+      return util::make_error(rotated.error().code,
+                              "snapshot committed to '" + path +
+                                  "' but the journal rotation failed (replay stays idempotent): " +
+                                  rotated.error().message);
+    }
   }
   return saved;
 }

@@ -33,7 +33,11 @@
 /// `ServiceMetrics` registry (metrics.hpp, exported by `metrics_json`).
 /// `save_snapshot`/`load_snapshot` persist the memo cache across process
 /// runs (snapshot.hpp), so a restarted broker serves warm-from-snapshot
-/// replies bit-identical to same-process warm replies.
+/// replies bit-identical to same-process warm replies. `recover` adds the
+/// write-ahead journal (journal.hpp) on top: every cache-miss solve appends
+/// one group-committed record, snapshot saves compact the journal away, and
+/// a crashed process restarts with snapshot + journal replay — losing at
+/// most the last `fsync_every - 1` solves.
 ///
 /// Batches (`solve_batch`, or `submit` + `drain`) additionally dedupe: member
 /// requests with equal full keys form one group, groups are ordered by
@@ -72,6 +76,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -81,6 +86,7 @@
 #include "relap/exec/thread_pool.hpp"
 #include "relap/service/cache.hpp"
 #include "relap/service/canonical.hpp"
+#include "relap/service/journal.hpp"
 #include "relap/service/metrics.hpp"
 #include "relap/service/request.hpp"
 #include "relap/service/snapshot.hpp"
@@ -167,13 +173,20 @@ class Broker {
   /// (metrics.hpp). Live — reading does not reset anything.
   [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
 
-  /// One-line JSON document combining `metrics()` with the cache counters:
-  /// {"cache":{hits,misses,evictions,entries,hit_rate},...service fields...}.
+  /// One-line JSON document combining `metrics()` with the cache counters,
+  /// journal counters and process uptime:
+  /// {"cache":{...},"journal":{...},"uptime_seconds":S,...service fields...}.
   [[nodiscard]] std::string metrics_json() const;
 
   /// Persists the memo cache to `path` (snapshot.hpp; crash-safe
-  /// temp-then-rename, version- and build-stamped).
-  [[nodiscard]] util::Expected<SnapshotStats> save_snapshot(const std::string& path) const;
+  /// temp-then-rename, version- and build-stamped). With a journal attached
+  /// this is *compaction*: once the snapshot commits, the journal is
+  /// atomically rotated back to empty — its records are all inside the
+  /// snapshot now. A snapshot failure leaves the journal untouched; a
+  /// rotation failure reports "io" but the snapshot is committed and a
+  /// replay of the stale journal over it is idempotent, so no outcome loses
+  /// data.
+  [[nodiscard]] util::Expected<SnapshotStats> save_snapshot(const std::string& path);
 
   /// Warm-starts the memo cache from a snapshot. Version-mismatched or
   /// corrupted snapshots are rejected with structured errors and leave the
@@ -182,6 +195,36 @@ class Broker {
   /// fronts' exact bit patterns and the broker denormalizes per request
   /// either way.
   [[nodiscard]] util::Expected<SnapshotStats> load_snapshot(const std::string& path);
+
+  struct RecoveryStats {
+    std::size_t snapshot_entries = 0;   ///< entries restored from the snapshot
+    std::uint64_t journal_records = 0;  ///< intact journal records replayed on top
+    std::uint64_t torn_records = 0;     ///< discarded torn tail (0 or 1)
+    bool snapshot_loaded = false;       ///< false when no snapshot file existed
+    double seconds = 0.0;               ///< recovery wall time
+  };
+
+  /// Crash recovery in one step: loads the snapshot at `snapshot_path` (a
+  /// missing file is a cold start, not an error), replays the journal at
+  /// `journal_path` on top (idempotent re-inserts in append order, so
+  /// contents *and* LRU recency match the never-crashed cache), truncates
+  /// the journal's torn tail, and attaches the journal so every subsequent
+  /// cache-miss solve appends to it. Either path may be empty to skip that
+  /// half. Errors ("io", "snapshot-*", "journal-*") leave the cache in
+  /// whatever state the completed steps produced and no journal attached.
+  [[nodiscard]] util::Expected<RecoveryStats> recover(const std::string& snapshot_path,
+                                                      const std::string& journal_path,
+                                                      JournalOptions journal_options = {});
+
+  /// True once `recover` attached a journal: cache-miss solves append.
+  [[nodiscard]] bool journal_enabled() const;
+
+  /// Live journal counters (zeroes when no journal is attached).
+  [[nodiscard]] JournalStats journal_stats() const;
+
+  /// Forces the journal's group commit early (clean-shutdown durability).
+  /// No-op success when no journal is attached.
+  [[nodiscard]] util::Expected<JournalStats> sync_journal();
 
  private:
   /// A request that passed admission + canonicalization, ready to dispatch.
@@ -206,9 +249,24 @@ class Broker {
   [[nodiscard]] std::vector<util::Expected<Reply>> solve_batch_timed(
       std::span<const SolveRequest> requests, std::span<const double> queue_waits);
 
+  /// Appends a freshly solved entry to the journal, if one is attached.
+  /// Append failures are absorbed (the reply already exists and the
+  /// journal's own `append_errors` counter surfaces the condition).
+  void journal_insert(std::uint64_t hash, const std::string& key,
+                      const std::shared_ptr<const algorithms::FrontReport>& value);
+
   BrokerOptions options_;
   FrontCache cache_;
   mutable ServiceMetrics metrics_;
+  const std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+
+  /// Guards the journal *and* the export-save-rotate compaction window: an
+  /// append always follows its cache insert, so holding this across
+  /// export+rotate means a concurrent solve's record lands either in the
+  /// snapshot (insert before export) or in the fresh journal (append after
+  /// rotate) — never rotated away unsaved.
+  mutable std::mutex journal_mutex_;
+  std::unique_ptr<Journal> journal_;
 
   struct Ticket {
     std::uint64_t id = 0;

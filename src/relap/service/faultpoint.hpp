@@ -21,7 +21,9 @@
 /// enumerate): snapshot.open, snapshot.write, snapshot.fsync,
 /// snapshot.rename, server.short_write, broker.solve_stall (value =
 /// stall seconds), broker.clock_skew (value = seconds added to the broker's
-/// steady clock).
+/// steady clock), journal.append (value = bytes of the record written
+/// before the simulated crash — the torn-tail generator of the
+/// crash-recovery harness), journal.fsync, journal.rotate.
 
 #include <cstdint>
 #include <optional>

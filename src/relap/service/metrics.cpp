@@ -22,6 +22,15 @@ void append_counter(std::string& out, const char* name, const Counter& counter, 
   out += std::to_string(counter.value());
 }
 
+void append_gauge(std::string& out, const char* name, const Gauge& gauge, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += name;
+  out += "\":";
+  out += json_number(gauge.value());
+}
+
 void append_histogram(std::string& out, const char* name, const LatencyHistogram& histogram,
                       bool& first) {
   if (!first) out += ',';
@@ -92,6 +101,9 @@ std::string ServiceMetrics::to_json() const {
   append_counter(out, "snapshot_loads", snapshot_loads, first);
   append_counter(out, "snapshot_entries_saved", snapshot_entries_saved, first);
   append_counter(out, "snapshot_entries_loaded", snapshot_entries_loaded, first);
+  append_counter(out, "journal_records_replayed", journal_records_replayed, first);
+  append_counter(out, "journal_records_discarded_torn", journal_records_discarded_torn, first);
+  append_gauge(out, "recovery_seconds", recovery_seconds, first);
   out += ",\"latency\":{";
   first = true;
   append_histogram(out, "queue_wait", queue_wait, first);

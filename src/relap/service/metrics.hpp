@@ -108,6 +108,12 @@ struct ServiceMetrics {
   Counter snapshot_loads;
   Counter snapshot_entries_saved;
   Counter snapshot_entries_loaded;
+  /// Startup-recovery side of the write-ahead journal (service/journal.hpp);
+  /// the live append/fsync/rotation counters stay in `JournalStats` (single
+  /// source of truth) and `Broker::metrics_json` merges both.
+  Counter journal_records_replayed;        ///< intact records re-inserted on recovery
+  Counter journal_records_discarded_torn;  ///< torn tails dropped on recovery
+  Gauge recovery_seconds;                  ///< wall time of the last recover()
 
   LatencyHistogram queue_wait;    ///< submit() -> drain() dispatch
   LatencyHistogram canonicalize;  ///< admission + canonicalization

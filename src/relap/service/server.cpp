@@ -35,16 +35,17 @@ std::string flatten(std::string_view text) {
   return out;
 }
 
-void emit_err(std::string& out, std::string_view code, std::string_view message) {
+/// `err <seq> <code> <message>`: seq correlates the error with the input
+/// line that caused it (0 = a server-level error outside any session line).
+void emit_err_line(std::string& out, std::uint64_t seq, std::string_view code,
+                   std::string_view message) {
   out += "err ";
+  out += std::to_string(seq);
+  out += ' ';
   out += code;
   out += ' ';
   out += flatten(message);
   out += '\n';
-}
-
-void emit_err(std::string& out, const util::Error& error) {
-  emit_err(out, error.code, error.message);
 }
 
 /// Algorithm names carry spaces ("algorithm-1 (fully homogeneous)"); response
@@ -67,9 +68,18 @@ std::string format_ms(double seconds) {
 
 Session::Session(Broker& broker, Options options) : broker_(broker), options_(options) {}
 
+void Session::emit_err(std::string& out, std::string_view code, std::string_view message) const {
+  emit_err_line(out, seq_, code, message);
+}
+
+void Session::emit_err(std::string& out, const util::Error& error) const {
+  emit_err_line(out, seq_, error.code, error.message);
+}
+
 bool Session::handle_line(std::string_view line, std::string& out) {
   const std::string_view trimmed = util::trim(line);
   if (trimmed.empty() || trimmed.front() == '#') return true;
+  ++seq_;
   if (in_block_) {
     handle_block_line(trimmed, out);
   } else {
@@ -497,7 +507,7 @@ void TcpServer::serve_connection(Broker& broker, int conn, const ServerOptions& 
     if (stop_requested()) {
       // Graceful drain: the in-flight line (if any) already got its reply;
       // anything further is refused like the broker refuses late work.
-      (void)send_all(conn, "err shutting-down server is draining\n", options.write_timeout_ms);
+      (void)send_all(conn, "err 0 shutting-down server is draining\n", options.write_timeout_ms);
       break;
     }
     // Block in short slices so the idle reaper and stop requests are honored
@@ -514,7 +524,7 @@ void TcpServer::serve_connection(Broker& broker, int conn, const ServerOptions& 
     if (ready == 0) {
       idle_ms += slice;
       if (options.read_timeout_ms > 0 && idle_ms >= options.read_timeout_ms) {
-        (void)send_all(conn, "err timeout connection idle past its read timeout, closing\n",
+        (void)send_all(conn, "err 0 timeout connection idle past its read timeout, closing\n",
                        options.write_timeout_ms);
         break;
       }
@@ -570,7 +580,7 @@ std::size_t TcpServer::serve(Broker& broker, const ServerOptions& options) {
       break;  // request_stop()'s socket shutdown lands here
     }
     if (stop_requested()) {
-      (void)send_all(conn, "err shutting-down server is draining\n", options.write_timeout_ms);
+      (void)send_all(conn, "err 0 shutting-down server is draining\n", options.write_timeout_ms);
       ::close(conn);
       continue;
     }
@@ -580,7 +590,7 @@ std::size_t TcpServer::serve(Broker& broker, const ServerOptions& options) {
         // Connection-level load shedding: refuse instead of queueing
         // unboundedly behind busy sessions.
         (void)send_all(conn,
-                       "err overloaded connection limit (" +
+                       "err 0 overloaded connection limit (" +
                            std::to_string(options.max_connections) + ") reached\n",
                        options.write_timeout_ms);
         ::close(conn);

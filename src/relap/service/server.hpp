@@ -7,8 +7,13 @@
 /// without linking the library. `examples/relap_serve.cpp` is the binary.
 ///
 /// Protocol (one command per line; '#' starts a comment line, blank lines
-/// are ignored; every response line is either `ok ...`, `err <code>
-/// <message>`, or a continuation line of a multi-line response):
+/// are ignored; every response line is either `ok ...`, `err <seq> <code>
+/// <message>`, or a continuation line of a multi-line response). `<seq>` is
+/// the 1-based ordinal of the offending input line within its session
+/// (blank and comment lines don't count), so a client pipelining many lines
+/// over one connection can correlate each failure with the line that caused
+/// it; server-level errors emitted outside any session line (overload
+/// refusals, idle timeouts, drain notices) carry seq 0:
 ///
 ///     instance <name>           begin an instance block; inside it:
 ///       input <delta0>            external input data size
@@ -110,10 +115,14 @@ class Session {
   void handle_block_line(std::string_view line, std::string& out);
   void handle_solve(std::string_view args, std::string& out);
   void handle_snapshot(std::string_view args, std::string& out);
+  /// `err <seq> <code> <message>` with this session's current line ordinal.
+  void emit_err(std::string& out, std::string_view code, std::string_view message) const;
+  void emit_err(std::string& out, const util::Error& error) const;
 
   Broker& broker_;
   Options options_;
   std::unordered_map<std::string, InstanceData> instances_;
+  std::uint64_t seq_ = 0;  ///< protocol lines handled (the `err <seq>` ordinal)
 
   // In-progress `instance` block.
   bool in_block_ = false;

@@ -14,6 +14,7 @@
 
 #include "relap/service/faultpoint.hpp"
 #include "relap/util/bytes.hpp"
+#include "relap/util/fs.hpp"
 #include "relap/util/hash.hpp"
 
 namespace relap::service {
@@ -62,8 +63,12 @@ bool read_count(ByteReader& reader, std::size_t min_record_bytes, std::uint64_t&
   return out <= reader.remaining() / min_record_bytes;
 }
 
-util::Expected<algorithms::FrontReport> decode_front(ByteReader& reader, std::size_t entry_index) {
+util::Expected<algorithms::FrontReport> decode_front(ByteReader& reader, std::size_t entry_index,
+                                                     std::string_view error_code) {
   const std::string at = " (entry " + std::to_string(entry_index) + ")";
+  const auto corrupt = [&](std::string message) {
+    return util::make_error(std::string(error_code), std::move(message));
+  };
   algorithms::FrontReport report;
 
   std::uint64_t point_count = 0;
@@ -140,15 +145,39 @@ std::string_view snapshot_build_stamp() {
 
 std::uint64_t snapshot_build_stamp_hash() { return util::fnv1a(snapshot_build_stamp()); }
 
+void encode_cache_entry(std::string& out, const FrontCache::ExportedEntry& entry) {
+  util::bytes::append_u64_le(out, entry.hash);
+  util::bytes::append_bytes(out, entry.key);
+  encode_front(out, *entry.value);
+}
+
+util::Expected<FrontCache::ExportedEntry> decode_cache_entry(util::bytes::ByteReader& reader,
+                                                             std::size_t entry_index,
+                                                             std::string_view error_code) {
+  FrontCache::ExportedEntry entry;
+  std::string_view key;
+  if (!reader.read_u64_le(entry.hash) || !reader.read_bytes(key)) {
+    return util::make_error(std::string(error_code),
+                            "truncated entry " + std::to_string(entry_index));
+  }
+  if (util::fnv1a(key) != entry.hash) {
+    return util::make_error(std::string(error_code),
+                            "entry " + std::to_string(entry_index) + " key/hash mismatch");
+  }
+  entry.key = std::string(key);
+  util::Expected<algorithms::FrontReport> front = decode_front(reader, entry_index, error_code);
+  if (!front.has_value()) return front.error();
+  entry.value = std::make_shared<const algorithms::FrontReport>(std::move(front).take());
+  return entry;
+}
+
 std::string encode_snapshot(std::span<const FrontCache::ExportedEntry> entries) {
   std::string meta;
   util::bytes::append_u64_le(meta, entries.size());
 
   std::string payload;
   for (const FrontCache::ExportedEntry& entry : entries) {
-    util::bytes::append_u64_le(payload, entry.hash);
-    util::bytes::append_bytes(payload, entry.key);
-    encode_front(payload, *entry.value);
+    encode_cache_entry(payload, entry);
   }
 
   std::string out;
@@ -231,49 +260,14 @@ util::Expected<std::vector<FrontCache::ExportedEntry>> decode_snapshot(std::stri
       std::min<std::uint64_t>(entry_count, entries_payload.size() / 8 + 1)));
   ByteReader entry_reader(entries_payload);
   for (std::uint64_t i = 0; i < entry_count; ++i) {
-    FrontCache::ExportedEntry entry;
-    std::string_view key;
-    if (!entry_reader.read_u64_le(entry.hash) || !entry_reader.read_bytes(key)) {
-      return corrupt("truncated entry " + std::to_string(i));
-    }
-    if (util::fnv1a(key) != entry.hash) {
-      return corrupt("entry " + std::to_string(i) + " key/hash mismatch");
-    }
-    entry.key = std::string(key);
-    util::Expected<algorithms::FrontReport> front =
-        decode_front(entry_reader, static_cast<std::size_t>(i));
-    if (!front.has_value()) return front.error();
-    entry.value = std::make_shared<const algorithms::FrontReport>(std::move(front).take());
-    entries.push_back(std::move(entry));
+    util::Expected<FrontCache::ExportedEntry> entry =
+        decode_cache_entry(entry_reader, static_cast<std::size_t>(i), "snapshot-corrupt");
+    if (!entry.has_value()) return entry.error();
+    entries.push_back(std::move(entry).take());
   }
   if (!entry_reader.done()) return corrupt("trailing bytes after the last entry");
   return entries;
 }
-
-namespace {
-
-/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
-bool write_all(int fd, std::string_view bytes) {
-  while (!bytes.empty()) {
-    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    bytes.remove_prefix(static_cast<std::size_t>(written));
-  }
-  return true;
-}
-
-/// Directory holding `path` ("." for a bare filename) — the entry that must
-/// be fsynced for a rename into it to survive a crash.
-std::string parent_directory(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  return slash == 0 ? "/" : path.substr(0, slash);
-}
-
-}  // namespace
 
 util::Expected<SnapshotStats> save_snapshot(const FrontCache& cache, const std::string& path) {
   const std::vector<FrontCache::ExportedEntry> entries = cache.export_entries();
@@ -292,7 +286,7 @@ util::Expected<SnapshotStats> save_snapshot(const FrontCache& cache, const std::
   if (fd < 0) {
     return util::make_error("io", "cannot open '" + temp + "' for writing");
   }
-  bool ok = !faultpoint::should_fail("snapshot.write") && write_all(fd, bytes);
+  bool ok = !faultpoint::should_fail("snapshot.write") && util::fs::write_all(fd, bytes);
   if (ok && (faultpoint::should_fail("snapshot.fsync") || ::fsync(fd) != 0)) ok = false;
   if (::close(fd) != 0) ok = false;
   if (!ok) {
@@ -306,15 +300,9 @@ util::Expected<SnapshotStats> save_snapshot(const FrontCache& cache, const std::
   }
   // Directory fsync failures are reported, not rolled back: the data file is
   // already committed by name, just not yet guaranteed durable.
-  const std::string dir = parent_directory(path);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd < 0) {
-    return util::make_error("io", "cannot open directory '" + dir + "' to fsync the rename");
-  }
-  const bool dir_synced = ::fsync(dir_fd) == 0;
-  ::close(dir_fd);
-  if (!dir_synced) {
-    return util::make_error("io", "fsync of directory '" + dir + "' failed");
+  if (!util::fs::fsync_parent_directory(path)) {
+    return util::make_error("io", "fsync of directory '" + util::fs::parent_directory(path) +
+                                      "' failed after the rename");
   }
   return SnapshotStats{entries.size(), bytes.size()};
 }

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "relap/service/cache.hpp"
+#include "relap/util/bytes.hpp"
 #include "relap/util/expected.hpp"
 
 namespace relap::service {
@@ -73,6 +74,19 @@ struct SnapshotStats {
   std::size_t entries = 0;
   std::size_t bytes = 0;  ///< encoded snapshot size
 };
+
+/// Encodes one cache entry record — the unit both persistence codecs share:
+/// u64 key hash, length-prefixed key bytes, then the solved front. The
+/// snapshot's entries section is a run of these; the journal
+/// (service/journal.hpp) frames one per record.
+void encode_cache_entry(std::string& out, const FrontCache::ExportedEntry& entry);
+
+/// Decodes one cache entry record from `reader`, re-validating everything
+/// `decode_snapshot` would (key/hash match, every mapping invariant).
+/// Failures carry `error_code` ("snapshot-corrupt" or "journal-corrupt" —
+/// both codecs reject with their own code) and name `entry_index`.
+[[nodiscard]] util::Expected<FrontCache::ExportedEntry> decode_cache_entry(
+    util::bytes::ByteReader& reader, std::size_t entry_index, std::string_view error_code);
 
 /// Serializes `entries` into the format above.
 [[nodiscard]] std::string encode_snapshot(std::span<const FrontCache::ExportedEntry> entries);

@@ -328,7 +328,7 @@ TEST_F(Faults, IdleConnectionsAreReapedWithATimeoutError) {
   ASSERT_TRUE(client.connected());
   // Send nothing: the reaper closes us with one structured error line.
   const std::string response = client.read_all();
-  EXPECT_EQ(response.rfind("err timeout", 0), 0U) << response;
+  EXPECT_EQ(response.rfind("err 0 timeout", 0), 0U) << response;
 }
 
 TEST_F(Faults, ConnectionsPastTheCapAreRefusedAsOverloaded) {
@@ -347,7 +347,7 @@ TEST_F(Faults, ConnectionsPastTheCapAreRefusedAsOverloaded) {
   Client refused(server.port());
   ASSERT_TRUE(refused.connected());
   const std::string response = refused.read_all();
-  EXPECT_EQ(response.rfind("err overloaded", 0), 0U) << response;
+  EXPECT_EQ(response.rfind("err 0 overloaded", 0), 0U) << response;
 
   // The occupant is unaffected and can finish its session.
   occupant.send_text("quit\n");
@@ -374,7 +374,7 @@ TEST_F(Faults, LateLinesAfterShutdownGetShuttingDown) {
   // bare close if the wind-down won the whole race.
   lingerer.send_text("ping\n");
   const std::string late = lingerer.read_all();
-  const std::string drain_line = "err shutting-down server is draining\n";
+  const std::string drain_line = "err 0 shutting-down server is draining\n";
   EXPECT_TRUE(late.empty() ||
               (late.size() >= drain_line.size() &&
                late.compare(late.size() - drain_line.size(), drain_line.size(), drain_line) == 0))

@@ -41,6 +41,28 @@ std::string feed_expect_closed(Session& session, const std::string& line) {
   return out;
 }
 
+/// True iff `response` starts with one `err <seq> <code> ...` line: a
+/// numeric sequence number (the session's line ordinal) between the `err`
+/// marker and the code. Empty `code` accepts any code.
+bool is_err(const std::string& response, std::string_view code = {}) {
+  if (response.rfind("err ", 0) != 0) return false;
+  std::size_t i = 4;
+  std::size_t digits = 0;
+  while (i < response.size() && response[i] >= '0' && response[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= response.size() || response[i] != ' ') return false;
+  if (code.empty()) return true;
+  return response.compare(i + 1, code.size(), code) == 0;
+}
+
+/// The `<seq>` of an `err <seq> <code> ...` response (0 if unparseable).
+std::uint64_t err_seq(const std::string& response) {
+  if (response.rfind("err ", 0) != 0) return 0;
+  return std::strtoull(response.c_str() + 4, nullptr, 10);
+}
+
 /// The protocol lines registering a generated instance under `name`.
 std::vector<std::string> upload_lines(const std::string& name, std::uint64_t seed,
                                       std::size_t stages = 3, std::size_t processors = 3) {
@@ -111,7 +133,7 @@ TEST(Server, ScriptedSessionEndToEnd) {
 
   EXPECT_EQ(feed(session, "drop job"), "ok drop job\n");
   const std::string gone = feed(session, "solve job");
-  EXPECT_EQ(gone.rfind("err protocol", 0), 0U) << gone;
+  EXPECT_TRUE(is_err(gone, "protocol")) << gone;
 
   EXPECT_EQ(feed_expect_closed(session, "quit"), "ok bye\n");
   EXPECT_FALSE(session.shutdown_requested());
@@ -132,7 +154,7 @@ TEST(Server, ObjectiveAndMethodKnobs) {
 
   // An infeasible threshold is a structured solver error, not a crash.
   const std::string infeasible = feed(session, "solve job obj=minfp threshold=1e-12");
-  EXPECT_EQ(infeasible.rfind("err infeasible", 0), 0U) << infeasible;
+  EXPECT_TRUE(is_err(infeasible, "infeasible")) << infeasible;
 }
 
 TEST(Server, ShutdownPropagates) {
@@ -167,7 +189,7 @@ TEST(Server, MalformedInputAlwaysAnswersErrAndNeverKillsTheSession) {
   };
   for (const std::string& line : garbage) {
     const std::string response = feed(session, line);
-    EXPECT_EQ(response.rfind("err ", 0), 0U) << "line '" << line << "' -> " << response;
+    EXPECT_TRUE(is_err(response)) << "line '" << line << "' -> " << response;
     EXPECT_EQ(response.find('\n'), response.size() - 1) << "multi-line error for " << line;
   }
 
@@ -177,13 +199,13 @@ TEST(Server, MalformedInputAlwaysAnswersErrAndNeverKillsTheSession) {
        {std::string("stage zero 1 2"), std::string("stage 0 1"), std::string("proc fast 1 2 3"),
         std::string("input"), std::string("links"), std::string("solve x")}) {
     const std::string response = feed(session, line);
-    EXPECT_EQ(response.rfind("err ", 0), 0U) << "block line '" << line << "' -> " << response;
+    EXPECT_TRUE(is_err(response)) << "block line '" << line << "' -> " << response;
   }
   // ...and a structurally nonsensical instance (no stages/procs) is a
   // structured admission error at solve time, not an assert.
   EXPECT_EQ(feed(session, "end").rfind("ok instance x", 0), 0U);
   const std::string empty_solve = feed(session, "solve x");
-  EXPECT_EQ(empty_solve.rfind("err ", 0), 0U) << empty_solve;
+  EXPECT_TRUE(is_err(empty_solve)) << empty_solve;
 
   // Nonsense numerics (negative speeds, NaN work...) reject as malformed.
   EXPECT_EQ(feed(session, "instance y"), "");
@@ -192,7 +214,7 @@ TEST(Server, MalformedInputAlwaysAnswersErrAndNeverKillsTheSession) {
   EXPECT_EQ(feed(session, "proc -1 0.5 1 1 1"), "");
   EXPECT_EQ(feed(session, "end").rfind("ok instance y", 0), 0U);
   const std::string bad_solve = feed(session, "solve y");
-  EXPECT_EQ(bad_solve.rfind("err malformed", 0), 0U) << bad_solve;
+  EXPECT_TRUE(is_err(bad_solve, "malformed")) << bad_solve;
 
   // After all of that the session still serves a real request.
   upload(session, "ok_instance", 5);
@@ -210,14 +232,14 @@ TEST(Server, WireCapsBoundMemory) {
   EXPECT_EQ(feed(session, "instance a"), "");
   EXPECT_EQ(feed(session, "stage 0 1 1"), "");
   EXPECT_EQ(feed(session, "stage 1 1 1"), "");
-  EXPECT_EQ(feed(session, "stage 2 1 1").rfind("err oversized", 0), 0U);
+  EXPECT_TRUE(is_err(feed(session, "stage 2 1 1"), "oversized"));
   EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
   EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
-  EXPECT_EQ(feed(session, "proc 1 0 1 1").rfind("err oversized", 0), 0U);
+  EXPECT_TRUE(is_err(feed(session, "proc 1 0 1 1"), "oversized"));
   EXPECT_EQ(feed(session, "end").rfind("ok instance a", 0), 0U);
 
   // The instance table cap counts names, and re-registering is not growth.
-  EXPECT_EQ(feed(session, "instance b").rfind("err oversized", 0), 0U);
+  EXPECT_TRUE(is_err(feed(session, "instance b"), "oversized"));
   EXPECT_EQ(feed(session, "instance a"), "");
   EXPECT_EQ(feed(session, "end").rfind("ok instance a", 0), 0U);
 }
@@ -231,7 +253,37 @@ TEST(Server, ProcLinkRowLengthValidatedAtEnd) {
   EXPECT_EQ(feed(session, "proc 1 0 1 1 5 5 5"), "");  // 3 links, but m = 2
   EXPECT_EQ(feed(session, "proc 1 0 1 1"), "");
   const std::string response = feed(session, "end");
-  EXPECT_EQ(response.rfind("err protocol", 0), 0U) << response;
+  EXPECT_TRUE(is_err(response, "protocol")) << response;
+}
+
+TEST(Server, ErrSeqCorrelatesWithSessionLineOrdinals) {
+  Broker broker;
+  Session session(broker);
+
+  // Lines 1-3 are fine; blanks and comments do not consume ordinals.
+  EXPECT_EQ(feed(session, "ping"), "ok pong\n");
+  EXPECT_EQ(feed(session, ""), "");
+  EXPECT_EQ(feed(session, "# comment"), "");
+  EXPECT_EQ(feed(session, "ping"), "ok pong\n");
+  EXPECT_EQ(feed(session, "ping"), "ok pong\n");
+
+  // Line 4 and 5 fail: their err lines carry exactly those ordinals, so a
+  // pipelining client can attribute each failure to the line that caused it.
+  const std::string first = feed(session, "frobnicate");
+  ASSERT_TRUE(is_err(first, "protocol")) << first;
+  EXPECT_EQ(err_seq(first), 4U) << first;
+
+  EXPECT_EQ(feed(session, "   "), "");  // whitespace-only: still no ordinal
+
+  const std::string second = feed(session, "solve nosuch");
+  ASSERT_TRUE(is_err(second, "protocol")) << second;
+  EXPECT_EQ(err_seq(second), 5U) << second;
+
+  // A successful line still advances the ordinal for the next failure.
+  EXPECT_EQ(feed(session, "ping"), "ok pong\n");
+  const std::string third = feed(session, "drop nosuch");
+  ASSERT_TRUE(is_err(third)) << third;
+  EXPECT_EQ(err_seq(third), 7U) << third;
 }
 
 // --- Stream and TCP transports. ---------------------------------------------
